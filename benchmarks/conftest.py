@@ -1,0 +1,104 @@
+"""Shared infrastructure for the benchmark (experiment-regeneration) harness.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (Section 8).  Because a full 6-method x 77-benchmark sweep takes a
+while, the harness has two scopes, selected with the ``REPRO_BENCH_SCOPE``
+environment variable:
+
+* ``quick`` (default) — a stratified subset of the corpus (every sixth
+  benchmark, ~13 queries) with a 10 s per-query budget; enough to reproduce
+  the *shape* of every table and figure in a few minutes.
+* ``full``            — all 77 benchmarks with a 60 s per-query budget.
+
+Evaluation results are cached per session so that, e.g., Figure 9, Figure 10
+and Table 1 — which all consume the same standard-method run — only pay for
+it once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.evaluation import (
+    EvaluationResult,
+    EvaluationRunner,
+    grammar_ablation_methods,
+    penalty_ablation_methods,
+    standard_methods,
+)
+from repro.llm import OracleConfig, SyntheticOracle
+from repro.suite import Benchmark, all_benchmarks
+
+#: Benchmark scope: "quick" or "full".
+SCOPE = os.environ.get("REPRO_BENCH_SCOPE", "quick").lower()
+
+#: Per-query timeouts per scope.
+TIMEOUTS = {"quick": 10.0, "full": 60.0}
+
+
+def corpus() -> List[Benchmark]:
+    """The benchmark corpus for the active scope."""
+    benchmarks = all_benchmarks()
+    if SCOPE == "full":
+        return benchmarks
+    # Quick scope: a stratified slice of the corpus (keeps every category).
+    return benchmarks[::6]
+
+
+def timeout_seconds() -> float:
+    return TIMEOUTS.get(SCOPE, 20.0)
+
+
+def _oracle() -> SyntheticOracle:
+    return SyntheticOracle(OracleConfig())
+
+
+@pytest.fixture(scope="session")
+def bench_corpus() -> List[Benchmark]:
+    return corpus()
+
+
+class _ResultCache:
+    """Session-wide cache of evaluation runs keyed by method-set name."""
+
+    def __init__(self) -> None:
+        self._results: Dict[str, EvaluationResult] = {}
+
+    def standard(self, benchmarks: Sequence[Benchmark]) -> EvaluationResult:
+        return self._run("standard", standard_methods, benchmarks)
+
+    def penalties(self, benchmarks: Sequence[Benchmark]) -> EvaluationResult:
+        return self._run("penalties", penalty_ablation_methods, benchmarks)
+
+    def grammars(self, benchmarks: Sequence[Benchmark]) -> EvaluationResult:
+        return self._run("grammars", grammar_ablation_methods, benchmarks)
+
+    def _run(self, key: str, factory, benchmarks: Sequence[Benchmark]) -> EvaluationResult:
+        if key not in self._results:
+            methods = factory(oracle=_oracle(), timeout_seconds=timeout_seconds())
+            self._results[key] = EvaluationRunner(methods, benchmarks).run()
+        return self._results[key]
+
+
+_CACHE = _ResultCache()
+
+
+@pytest.fixture(scope="session")
+def standard_results(bench_corpus) -> EvaluationResult:
+    """Shared run of the six Table-1 / Figure-9 / Figure-10 methods."""
+    return _CACHE.standard(bench_corpus)
+
+
+@pytest.fixture(scope="session")
+def penalty_results(bench_corpus) -> EvaluationResult:
+    """Shared run of the Table-2 penalty ablations."""
+    return _CACHE.penalties(bench_corpus)
+
+
+@pytest.fixture(scope="session")
+def grammar_results(bench_corpus) -> EvaluationResult:
+    """Shared run of the Table-3 / Figure-11 / Figure-12 grammar ablations."""
+    return _CACHE.grammars(bench_corpus)

@@ -1,0 +1,39 @@
+"""Experiment E4 — Table 2: impact of the penalty rules.
+
+Regenerates Table 2: the STAGG_TD / STAGG_BU configurations with individual
+penalty criteria (a1-a5, b1-b2) or whole penalty families dropped.  The shape
+claim of RQ3 is that the full configurations solve at least as many
+benchmarks as any of their penalty-dropping variants.
+
+On the quick 13-query scope a single benchmark can swing either way (a
+dropped penalty occasionally reorders the queue so that one query fits the
+small time budget), so the assertions allow a one-benchmark tolerance; the
+full-corpus claim is checked under ``REPRO_BENCH_SCOPE=full`` and discussed
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table, method_metrics, table2
+
+#: Quick-scope noise margin, in benchmarks (see module docstring).
+TOLERANCE = 1
+
+
+def test_table2_penalty_ablation(penalty_results, benchmark):
+    rows = benchmark.pedantic(lambda: table2(penalty_results), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Table 2 (reproduced): penalty-rule ablation"))
+
+    solved = {row["method"]: row["solved"] for row in rows}
+
+    # Full STAGG_TD is at least as good as every Drop(...) top-down variant.
+    for method, count in solved.items():
+        if method.startswith("STAGG_TD.Drop"):
+            assert solved["STAGG_TD"] >= count - TOLERANCE, (method, count)
+        if method.startswith("STAGG_BU.Drop"):
+            assert solved["STAGG_BU"] >= count - TOLERANCE, (method, count)
+
+    # Dropping the whole penalty family is never *better* than dropping one rule.
+    if "STAGG_TD.Drop(A)" in solved and "STAGG_TD.Drop(a3)" in solved:
+        assert solved["STAGG_TD.Drop(A)"] <= solved["STAGG_TD"] + TOLERANCE

@@ -1,0 +1,52 @@
+"""Experiment E5 — Table 3, Figure 11 and Figure 12: grammar ablations.
+
+Regenerates the grammar-configuration comparison of RQ4/RQ5:
+
+* ``EqualProbability`` — refined grammar, uniform probabilities,
+* ``LLMGrammar``       — unrefined grammar, learned probabilities,
+* ``FullGrammar``      — unrefined grammar, uniform probabilities,
+
+against the full STAGG configurations, reporting solved counts, times and
+enumeration attempts (Table 3), success-rate bars (Figure 11) and cactus
+series (Figure 12).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import figure11, figure12, format_table, method_metrics, table3
+
+
+def test_table3_grammar_ablation(grammar_results, benchmark):
+    rows = benchmark.pedantic(lambda: table3(grammar_results), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Table 3 (reproduced): grammar configurations"))
+
+    metrics = {row["method"]: row for row in rows}
+
+    # RQ4: dropping the grammar refinement (LLMGrammar) costs coverage.
+    assert metrics["STAGG_TD"]["solved"] >= metrics["STAGG_TD.LLMGrammar"]["solved"]
+    # The unrefined grammar needs more enumeration attempts than the refined one.
+    if metrics["STAGG_TD.FullGrammar"]["solved"]:
+        assert (
+            metrics["STAGG_TD.FullGrammar"]["attempts"]
+            > metrics["STAGG_TD"]["attempts"]
+        )
+
+
+def test_figure11_success_rates(grammar_results):
+    rates = figure11(grammar_results)
+    print()
+    print("Figure 11 (reproduced): grammar-configuration success rates")
+    for method, rate in sorted(rates.items(), key=lambda item: -item[1]):
+        print(f"  {method:28s} {rate:5.1f}%")
+    assert rates["STAGG_TD"] >= rates["STAGG_TD.LLMGrammar"]
+
+
+def test_figure12_cactus(grammar_results):
+    series = figure12(grammar_results)
+    print()
+    print("Figure 12 (reproduced): grammar-configuration cactus series")
+    for method, times in sorted(series.items()):
+        print(f"  {method:28s} solved={len(times)}")
+    for times in series.values():
+        assert times == sorted(times)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Reproduce the ablation studies (Tables 2 and 3, Figures 11 and 12).
+
+Runs the penalty-dropping configurations (Table 2) and the grammar /
+probability configurations (Table 3, Figures 11-12) of STAGG over a slice of
+the corpus and prints the regenerated rows.
+
+Run with:  python examples/ablation_study.py [--limit 15] [--which grammar|penalty|both]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import (
+    EvaluationRunner,
+    figure11,
+    format_table,
+    grammar_ablation_methods,
+    penalty_ablation_methods,
+    table2,
+    table3,
+)
+from repro.suite import select
+
+
+def run(methods, benchmarks, title):
+    print(f"\n=== {title}: {len(methods)} configurations x {len(benchmarks)} benchmarks ===")
+
+    def progress(method, benchmark, report):
+        print(f"  {'ok ' if report.success else '-- '} {method:30s} {benchmark}")
+
+    return EvaluationRunner(methods, benchmarks, progress=progress).run()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--limit", type=int, default=15)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--which", choices=("penalty", "grammar", "both"), default="both")
+    arguments = parser.parse_args()
+
+    benchmarks = select(limit=arguments.limit)
+
+    if arguments.which in ("penalty", "both"):
+        result = run(
+            penalty_ablation_methods(timeout_seconds=arguments.timeout),
+            benchmarks,
+            "Penalty ablation (Table 2)",
+        )
+        print(format_table(table2(result), "Table 2 (reproduced)"))
+
+    if arguments.which in ("grammar", "both"):
+        result = run(
+            grammar_ablation_methods(timeout_seconds=arguments.timeout),
+            benchmarks,
+            "Grammar ablation (Table 3 / Figures 11-12)",
+        )
+        print(format_table(table3(result), "Table 3 (reproduced)"))
+        print("Figure 11 (success rates):")
+        for method, rate in sorted(figure11(result).items(), key=lambda item: -item[1]):
+            print(f"  {method:30s} {rate:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Compare STAGG against the paper's baselines on a slice of the corpus.
+
+Runs the six methods of Table 1 (STAGG_TD, STAGG_BU, LLM-only, C2TACO with
+and without heuristics, Tenspiler) over a selection of benchmarks and prints
+a Table-1-style summary plus the Figure-10-style success rates.
+
+Run with:  python examples/compare_baselines.py [--category llama] [--limit 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import (
+    EvaluationRunner,
+    figure10,
+    format_table,
+    standard_methods,
+    table1,
+    text_report,
+)
+from repro.suite import select
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--category", action="append", help="restrict to a corpus category")
+    parser.add_argument("--limit", type=int, default=12, help="number of benchmarks to run")
+    parser.add_argument("--timeout", type=float, default=30.0, help="per-query budget (seconds)")
+    arguments = parser.parse_args()
+
+    benchmarks = select(categories=arguments.category, limit=arguments.limit)
+    methods = standard_methods(timeout_seconds=arguments.timeout)
+
+    print(f"Running {len(methods)} methods over {len(benchmarks)} benchmarks "
+          f"(timeout {arguments.timeout:.0f}s per query)\n")
+
+    def progress(method, benchmark, report):
+        status = "ok " if report.success else "-- "
+        print(f"  [{status}] {method:22s} {benchmark:34s} {report.elapsed_seconds:6.2f}s")
+
+    result = EvaluationRunner(methods, benchmarks, progress=progress).run()
+
+    print()
+    print(text_report(result, "Baseline comparison"))
+    print(format_table(table1(result), "Table-1-style rows"))
+    print("Success rates (Figure-10 style, real-world subset):")
+    for method, rate in sorted(figure10(result).items(), key=lambda item: -item[1]):
+        print(f"  {method:22s} {rate:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

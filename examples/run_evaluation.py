@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Run the full evaluation of the paper and save all regenerated artefacts.
+
+This is the heavy-weight driver behind EXPERIMENTS.md: it runs the standard
+methods (Figures 9-10, Table 1), the penalty ablations (Table 2) and the
+grammar ablations (Table 3, Figures 11-12) over the corpus and writes the
+regenerated tables, figure series and raw per-query records to an output
+directory.
+
+Run with:
+    python examples/run_evaluation.py --out results/ --scope quick
+    python examples/run_evaluation.py --out results/ --scope full   # ~hours
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.evaluation import (
+    EvaluationRunner,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    format_table,
+    grammar_ablation_methods,
+    penalty_ablation_methods,
+    save_csv,
+    save_json,
+    standard_methods,
+    table1,
+    table2,
+    table3,
+    text_report,
+)
+from repro.suite import all_benchmarks
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument("--scope", choices=("quick", "full"), default="quick")
+    parser.add_argument("--timeout", type=float, default=None, help="per-query budget (seconds)")
+    arguments = parser.parse_args()
+
+    benchmarks = all_benchmarks() if arguments.scope == "full" else all_benchmarks()[::3]
+    timeout = arguments.timeout or (60.0 if arguments.scope == "full" else 20.0)
+    arguments.out.mkdir(parents=True, exist_ok=True)
+
+    def progress(method, benchmark, report):
+        print(f"  {'ok ' if report.success else '-- '} {method:30s} {benchmark:34s} "
+              f"{report.elapsed_seconds:6.2f}s", flush=True)
+
+    print(f"[1/3] standard methods over {len(benchmarks)} benchmarks")
+    standard = EvaluationRunner(
+        standard_methods(timeout_seconds=timeout), benchmarks, progress=progress
+    ).run()
+    save_csv(standard, arguments.out / "standard_records.csv")
+    save_json(standard, arguments.out / "standard_records.json")
+
+    print("[2/3] penalty ablations (Table 2)")
+    penalties = EvaluationRunner(
+        penalty_ablation_methods(timeout_seconds=timeout), benchmarks, progress=progress
+    ).run()
+    save_csv(penalties, arguments.out / "penalty_records.csv")
+
+    print("[3/3] grammar ablations (Table 3, Figures 11-12)")
+    grammars = EvaluationRunner(
+        grammar_ablation_methods(timeout_seconds=timeout), benchmarks, progress=progress
+    ).run()
+    save_csv(grammars, arguments.out / "grammar_records.csv")
+
+    report_lines = [
+        text_report(standard, "Standard methods"),
+        format_table(table1(standard), "Table 1 (reproduced)"),
+        format_table(table2(penalties), "Table 2 (reproduced)"),
+        format_table(table3(grammars), "Table 3 (reproduced)"),
+    ]
+    (arguments.out / "report.txt").write_text("\n".join(report_lines), encoding="utf-8")
+
+    figures = {
+        "figure9": figure9(standard),
+        "figure10": figure10(standard),
+        "figure11": figure11(grammars),
+        "figure12": figure12(grammars),
+    }
+    (arguments.out / "figures.json").write_text(json.dumps(figures, indent=2), encoding="utf-8")
+
+    print("\n".join(report_lines))
+    print(f"\nAll artefacts written to {arguments.out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of *Guided Tensor Lifting* (PLDI 2025).
+
+The package implements STAGG (Synthesis of Tensor Algebra Guided by
+Grammars): lifting legacy C tensor kernels to the TACO tensor-index DSL by
+combining LLM candidate generation, probabilistic-grammar learning and
+weighted A* enumerative synthesis, plus every substrate the pipeline needs
+(a TACO front end and evaluator, a mini-C front end with static analyses, a
+bounded equivalence verifier), the baselines the paper compares against, the
+77-benchmark corpus and the evaluation harness that regenerates every table
+and figure of the paper.
+
+Quickstart::
+
+    from repro import StaggConfig, StaggSynthesizer
+    from repro.llm import SyntheticOracle
+    from repro.suite import get_benchmark
+
+    benchmark = get_benchmark("darknet.forward_connected")
+    synthesizer = StaggSynthesizer(SyntheticOracle(), StaggConfig.topdown())
+    report = synthesizer.lift(benchmark.task())
+    print(report.summary())
+"""
+
+from .core import (
+    InputSpec,
+    LiftingTask,
+    SearchLimits,
+    StaggConfig,
+    StaggSynthesizer,
+    SynthesisReport,
+    VerifierConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StaggConfig",
+    "StaggSynthesizer",
+    "SynthesisReport",
+    "LiftingTask",
+    "InputSpec",
+    "SearchLimits",
+    "VerifierConfig",
+    "__version__",
+]

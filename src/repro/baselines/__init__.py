@@ -1,0 +1,21 @@
+"""Baseline lifters the paper compares STAGG against.
+
+* :class:`C2TacoLifter` — bottom-up enumerative synthesis with (and without)
+  code-analysis heuristics (Magalhães et al., GPCE 2023).
+* :class:`TenspilerLifter` — verified lifting over a fixed operator-template
+  library (Qiu et al., ECOOP 2024).
+* :class:`LLMOnlyLifter` — validate raw GPT-4 candidates, no search.
+"""
+
+from .base import BaselineLifter, TaskContext
+from .c2taco import C2TacoLifter
+from .llm_only import LLMOnlyLifter
+from .tenspiler import TenspilerLifter
+
+__all__ = [
+    "BaselineLifter",
+    "TaskContext",
+    "C2TacoLifter",
+    "LLMOnlyLifter",
+    "TenspilerLifter",
+]

@@ -1,0 +1,114 @@
+"""Shared infrastructure for the baseline lifters.
+
+Every baseline implements the same ``lift(task) -> SynthesisReport`` contract
+as :class:`repro.core.synthesizer.StaggSynthesizer`, so the evaluation runner
+can treat all methods uniformly.  This module provides the common plumbing:
+building the validator / verifier for a task and checking candidate
+templates against them.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..cfront.analysis import analyze_signature, harvest_constants
+from ..core.config import StaggConfig
+from ..core.io_examples import IOExampleGenerator
+from ..core.result import SynthesisReport
+from ..core.task import LiftingTask
+from ..core.validator import TemplateValidator, ValidationResult
+from ..core.verifier import BoundedEquivalenceChecker, VerificationResult, VerifierConfig
+from ..taco import TacoProgram
+
+
+@dataclass
+class TaskContext:
+    """Per-task machinery shared by the baselines."""
+
+    task: LiftingTask
+    validator: TemplateValidator
+    verifier: BoundedEquivalenceChecker
+    signature_output: Optional[str]
+
+
+class BaselineLifter(abc.ABC):
+    """Base class for the baseline lifting methods."""
+
+    #: Label reported in evaluation tables; subclasses override.
+    label: str = "baseline"
+
+    def __init__(
+        self,
+        num_io_examples: int = 3,
+        verifier_config: VerifierConfig = VerifierConfig(),
+        seed: int = 7,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        self._num_io_examples = num_io_examples
+        self._verifier_config = verifier_config
+        self._seed = seed
+        self._timeout_seconds = timeout_seconds
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def lift(self, task: LiftingTask) -> SynthesisReport:
+        started = time.monotonic()
+        report = SynthesisReport(task_name=task.name, method=self.label, success=False)
+        try:
+            context = self._prepare(task)
+            self._lift_with_context(task, context, report, started)
+        except Exception as error:  # noqa: BLE001 - report, don't crash the harness
+            report.error = f"{type(error).__name__}: {error}"
+        report.elapsed_seconds = time.monotonic() - started
+        return report
+
+    @abc.abstractmethod
+    def _lift_with_context(
+        self,
+        task: LiftingTask,
+        context: TaskContext,
+        report: SynthesisReport,
+        started: float,
+    ) -> None:
+        """Method-specific lifting logic; mutate *report* in place."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _prepare(self, task: LiftingTask) -> TaskContext:
+        function = task.parse()
+        signature = analyze_signature(function)
+        constants = harvest_constants(function)
+        examples = IOExampleGenerator(
+            task, function, signature, seed=self._seed
+        ).generate(self._num_io_examples)
+        validator = TemplateValidator(examples, constants)
+        verifier = BoundedEquivalenceChecker(
+            task, function, signature, config=self._verifier_config
+        )
+        return TaskContext(
+            task=task,
+            validator=validator,
+            verifier=verifier,
+            signature_output=signature.output_argument,
+        )
+
+    def _check(
+        self, context: TaskContext, template: TacoProgram
+    ) -> Tuple[bool, Optional[ValidationResult], Optional[VerificationResult]]:
+        """Validate then bounded-verify one candidate template."""
+        validation = context.validator.validate(template)
+        if not validation.success or validation.concrete_program is None:
+            return False, validation, None
+        verification = context.verifier.verify(validation.concrete_program)
+        return bool(verification.equivalent), validation, verification
+
+    def _out_of_time(self, started: float) -> bool:
+        return (
+            self._timeout_seconds is not None
+            and (time.monotonic() - started) >= self._timeout_seconds
+        )

@@ -1,0 +1,205 @@
+"""A reimplementation of the C2TACO baseline (Magalhães et al., GPCE 2023).
+
+C2TACO lifts C kernels to TACO with a *bottom-up enumerative* synthesizer
+driven by input/output examples, optionally pruned by static code analysis
+("heuristics"): the analysis predicts the rank of every array argument, the
+number of operands the target expression is likely to have, and the constants
+that may appear, and the enumeration is restricted accordingly.
+
+This reproduction enumerates left-to-right operator chains over the kernel's
+arguments in order of increasing size, exactly as the original does, and
+reuses STAGG's validator / bounded verifier as the acceptance check so the
+comparison with STAGG is apples-to-apples.
+
+Two configurations are exposed, matching the paper's evaluation:
+
+* ``C2TacoLifter(use_heuristics=True)``   — argument ranks from static
+  analysis, expression size bounded by the loop structure, constants from the
+  source (the published tool's default),
+* ``C2TacoLifter(use_heuristics=False)``  — the same enumeration without the
+  analysis-derived restrictions (every argument tried at every rank up to 3,
+  longer expressions allowed), which solves the same benchmarks more slowly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..cfront.analysis import (
+    analyze_loops,
+    analyze_signature,
+    harvest_constants,
+    predict_dimensions,
+)
+from ..core.result import SynthesisReport
+from ..core.task import LiftingTask
+from ..core.verifier import VerifierConfig
+from ..taco import BinOp, BinaryOp, Constant, Expression, TacoProgram, TensorAccess
+from ..taco.grammar import CANONICAL_INDEX_VARIABLES
+from .base import BaselineLifter, TaskContext
+
+#: Operators enumerated, in the order the original tool tries them.
+_OPERATORS = (BinOp.MUL, BinOp.ADD, BinOp.SUB, BinOp.DIV)
+
+#: Hard cap on enumerated candidates per task (safety valve).
+MAX_CANDIDATES = 50_000
+
+
+class C2TacoLifter(BaselineLifter):
+    """Bottom-up enumerative lifting with optional code-analysis pruning.
+
+    ``max_candidates`` bounds how many candidate expressions one query may
+    try.  The published tool pays one TACO-compiler compile-and-run per
+    candidate (on the order of a second), so its 60-minute budget corresponds
+    to a few thousand candidates; the evaluation harness passes a cap in that
+    range so that the *relative* coverage of the baselines is preserved even
+    though this reproduction executes candidates orders of magnitude faster
+    than the TACO compiler does.
+    """
+
+    def __init__(
+        self,
+        use_heuristics: bool = True,
+        num_io_examples: int = 3,
+        verifier_config: VerifierConfig = VerifierConfig(),
+        seed: int = 7,
+        timeout_seconds: Optional[float] = None,
+        max_operands: int = 4,
+        max_candidates: int = MAX_CANDIDATES,
+    ) -> None:
+        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds)
+        self._use_heuristics = use_heuristics
+        self._max_operands = max_operands
+        self._max_candidates = max_candidates
+        self.label = "C2TACO" if use_heuristics else "C2TACO.NoHeuristics"
+
+    # ------------------------------------------------------------------ #
+    # Lifting
+    # ------------------------------------------------------------------ #
+    def _lift_with_context(
+        self,
+        task: LiftingTask,
+        context: TaskContext,
+        report: SynthesisReport,
+        started: float,
+    ) -> None:
+        function = task.parse()
+        signature = analyze_signature(function)
+        prediction = predict_dimensions(function)
+        constants = harvest_constants(function)
+        output = signature.output_argument
+        output_rank = prediction.output_rank if output is not None else 0
+
+        report.dimension_list = tuple(
+            [output_rank]
+            + [prediction.rank(name) for name in signature.inputs() if name in prediction.argument_ranks]
+        )
+
+        lhs_indices = CANONICAL_INDEX_VARIABLES[:output_rank]
+        lhs = TensorAccess(output if output is not None else "result", lhs_indices)
+
+        operand_pool = self._operand_pool(signature, prediction, constants)
+        size_limit = self._operand_limit(function, signature)
+
+        for candidate in self._enumerate(lhs, operand_pool, size_limit):
+            if self._out_of_time(started):
+                report.timed_out = True
+                return
+            report.attempts += 1
+            if report.attempts > self._max_candidates:
+                return
+            solved, validation, _verification = self._check_concrete(context, candidate)
+            if solved and validation is not None:
+                report.success = True
+                report.template = candidate
+                report.lifted_program = validation.concrete_program or candidate
+                return
+
+    def _check_concrete(self, context: TaskContext, candidate: TacoProgram):
+        """Candidates already use concrete argument names; validate directly."""
+        return self._check(context, candidate)
+
+    # ------------------------------------------------------------------ #
+    # Search-space construction
+    # ------------------------------------------------------------------ #
+    def _operand_pool(
+        self,
+        signature,
+        prediction,
+        constants: Sequence,
+    ) -> List[Tuple[str, int, Optional[object]]]:
+        """The atoms the enumeration may combine: (name, rank, constant value)."""
+        pool: List[Tuple[str, int, Optional[object]]] = []
+        for argument in signature.arguments:
+            if argument.name == signature.output_argument:
+                continue
+            if argument.kind.name == "SIZE":
+                continue
+            if self._use_heuristics:
+                ranks = [prediction.rank(argument.name)] if argument.is_pointer else [0]
+            elif argument.is_pointer:
+                # Without the code-analysis pruning every plausible rank is
+                # tried for every array argument, up to one above the rank the
+                # analysis would have predicted (capped at 3).
+                predicted = prediction.rank(argument.name)
+                ranks = list(range(0, min(3, max(2, predicted + 1)) + 1))
+            else:
+                ranks = [0]
+            for rank in ranks:
+                pool.append((argument.name, rank, None))
+        for value in constants:
+            pool.append(("<const>", 0, value))
+        if not self._use_heuristics and not constants:
+            # Without analysis the original tool also tries small literals.
+            for value in (1, 2):
+                pool.append(("<const>", 0, value))
+        return pool
+
+    def _operand_limit(self, function, signature) -> int:
+        """Maximum number of operands in an enumerated expression."""
+        if not self._use_heuristics:
+            return self._max_operands
+        # With heuristics the expression size is bounded by the number of
+        # distinct tensor arguments plus one constant slot, as in the
+        # original tool's loop-structure analysis.
+        tensor_args = [
+            a for a in signature.arguments
+            if a.is_pointer and a.name != signature.output_argument
+        ]
+        return min(self._max_operands, max(1, len(tensor_args) + 1))
+
+    def _enumerate(
+        self,
+        lhs: TensorAccess,
+        pool: Sequence[Tuple[str, int, Optional[object]]],
+        max_operands: int,
+    ) -> Iterator[TacoProgram]:
+        """Enumerate candidate programs in order of increasing size."""
+        max_rank = max([rank for _, rank, _ in pool] + [lhs.rank])
+        reduction_budget = 2 if max_rank >= 2 else 1
+        index_vars = CANONICAL_INDEX_VARIABLES[
+            : min(len(CANONICAL_INDEX_VARIABLES), lhs.rank + reduction_budget)
+        ]
+        atoms: List[Expression] = []
+        for name, rank, constant in pool:
+            if constant is not None:
+                atoms.append(Constant(constant))
+                continue
+            if rank == 0:
+                atoms.append(TensorAccess(name))
+                continue
+            for combo in itertools.permutations(index_vars, rank):
+                atoms.append(TensorAccess(name, combo))
+
+        for size in range(1, max_operands + 1):
+            for operands in itertools.product(atoms, repeat=size):
+                if size == 1:
+                    yield TacoProgram(lhs, operands[0])
+                    continue
+                for operators in itertools.product(_OPERATORS, repeat=size - 1):
+                    expression: Expression = operands[0]
+                    for op, operand in zip(operators, operands[1:]):
+                        expression = BinaryOp(op, expression, operand)
+                    yield TacoProgram(lhs, expression)

@@ -1,0 +1,57 @@
+"""Static analyses over mini-C kernels.
+
+These reproduce the "dimensional analysis" box of Figure 1: loop-structure
+analysis, array recovery from pointer arithmetic, affine delinearization,
+argument classification, output-rank prediction and constant harvesting.
+"""
+
+from .constants import constants_with_negations, harvest_constants
+from .delinearize import (
+    AffineForm,
+    AffineTerm,
+    affine_form,
+    delinearize_index,
+    recovered_rank,
+    subscript_rank,
+)
+from .dimensions import (
+    DimensionPrediction,
+    predict_argument_rank,
+    predict_dimensions,
+    predict_output_rank,
+)
+from .loops import LoopInfo, LoopNest, analyze_loops
+from .pointers import AdvancementSite, PointerAnalysis, analyze_pointers
+from .signature import (
+    ArgumentInfo,
+    ArgumentKind,
+    OutputKind,
+    SignatureInfo,
+    analyze_signature,
+)
+
+__all__ = [
+    "harvest_constants",
+    "constants_with_negations",
+    "AffineForm",
+    "AffineTerm",
+    "affine_form",
+    "delinearize_index",
+    "recovered_rank",
+    "subscript_rank",
+    "DimensionPrediction",
+    "predict_argument_rank",
+    "predict_dimensions",
+    "predict_output_rank",
+    "LoopInfo",
+    "LoopNest",
+    "analyze_loops",
+    "AdvancementSite",
+    "PointerAnalysis",
+    "analyze_pointers",
+    "ArgumentInfo",
+    "ArgumentKind",
+    "OutputKind",
+    "SignatureInfo",
+    "analyze_signature",
+]

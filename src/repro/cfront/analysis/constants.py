@@ -1,0 +1,102 @@
+"""Harvesting literal constants from the legacy C kernel.
+
+The template validator (Section 6) instantiates symbolic ``Const``
+placeholders "from a list of constants found in the input source code".
+This pass collects that list.  Literals that only steer control flow (loop
+bounds, initial loop values) or that merely zero-initialise an accumulator
+are excluded — they never correspond to a constant in the lifted tensor
+expression — while literals that participate in the data computation
+(e.g. the ``2`` in ``out[i] = 2 * a[i]``) are kept.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple, Union
+
+from ..ast import (
+    Assignment,
+    BinaryOp,
+    Conditional,
+    Declaration,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FunctionDef,
+    IntLiteral,
+    Return,
+    Stmt,
+    UnaryOp,
+    statement_expressions,
+    walk_expressions,
+    walk_statements,
+)
+
+Number = Union[int, float]
+
+
+def harvest_constants(function: FunctionDef, include_zero: bool = False) -> Tuple[Number, ...]:
+    """Collect the literal constants that participate in the data computation.
+
+    Parameters
+    ----------
+    include_zero:
+        Zero is almost always an accumulator initialiser rather than a
+        semantic constant, so it is excluded by default.
+
+    Returns
+    -------
+    The distinct constants in order of first appearance.
+    """
+    control_expressions: Set[int] = set()
+    for stmt in walk_statements(function):
+        if isinstance(stmt, For):
+            for expr in (stmt.init, stmt.condition, stmt.update):
+                if isinstance(expr, Expr):
+                    for node in walk_expressions(expr):
+                        control_expressions.add(id(node))
+            if isinstance(stmt.init, Declaration):
+                for decl in stmt.init.declarators:
+                    if decl.init is not None:
+                        for node in walk_expressions(decl.init):
+                            control_expressions.add(id(node))
+
+    seen: List[Number] = []
+
+    def record(value: Number) -> None:
+        if not include_zero and value == 0:
+            return
+        if value not in seen:
+            seen.append(value)
+
+    for stmt in walk_statements(function):
+        for top in statement_expressions(stmt):
+            for node in walk_expressions(top):
+                if id(node) in control_expressions:
+                    continue
+                if isinstance(node, IntLiteral):
+                    record(node.value)
+                elif isinstance(node, FloatLiteral):
+                    record(node.value)
+                elif isinstance(node, UnaryOp) and node.op == "-" and isinstance(
+                    node.operand, (IntLiteral, FloatLiteral)
+                ):
+                    record(-node.operand.value)
+    return tuple(seen)
+
+
+def constants_with_negations(function: FunctionDef) -> Tuple[Number, ...]:
+    """The harvested constants plus their negations (de-duplicated).
+
+    Useful when a kernel subtracts a constant but the LLM proposed an
+    addition (or vice versa): the validator can then still instantiate the
+    template.
+    """
+    base = harvest_constants(function)
+    out: List[Number] = []
+    for value in base:
+        if value not in out:
+            out.append(value)
+        if -value not in out:
+            out.append(-value)
+    return tuple(out)

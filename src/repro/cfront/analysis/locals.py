@@ -1,0 +1,166 @@
+"""Analysis of index-carrying local variables.
+
+Legacy kernels frequently compute an array index into a scalar temporary
+before using it::
+
+    int idx = (i * cols + j) * depth + k;
+    out[idx] = a[idx] - b[idx];
+
+For both argument classification and dimensionality prediction the analyses
+need to see *through* such temporaries: ``idx`` is an addressing value, and
+the access ``out[idx]`` is really the affine access ``out[(i*cols+j)*depth+k]``.
+This module provides
+
+* :func:`scalar_definitions` — the unique defining expression of each scalar
+  local (when it has exactly one definition),
+* :func:`index_locals` — the set of locals whose value flows (possibly
+  through other locals) into a subscript index or pointer offset,
+* :func:`inline_locals` — substitution of those definitions into an
+  expression, used before delinearization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..ast import (
+    ArrayIndex,
+    Assignment,
+    BinaryOp,
+    Cast,
+    Conditional,
+    Declaration,
+    Expr,
+    FunctionDef,
+    Identifier,
+    IncDec,
+    IntLiteral,
+    UnaryOp,
+    walk_expressions,
+    walk_statements,
+)
+
+#: Maximum substitution depth when inlining chained temporaries.
+_MAX_INLINE_DEPTH = 4
+
+
+def scalar_definitions(function: FunctionDef) -> Dict[str, Expr]:
+    """Locals with exactly one non-self-referential scalar definition.
+
+    A local qualifies when it is defined exactly once (declaration initialiser
+    or plain assignment), the definition does not dereference memory, and the
+    local is never incremented afterwards.  Loop induction variables are
+    naturally excluded because their update (``i++``) counts as a second
+    definition.
+    """
+    definitions: Dict[str, Optional[Expr]] = {}
+    pointer_like: Set[str] = set()
+
+    for stmt in walk_statements(function):
+        if isinstance(stmt, Declaration):
+            for decl in stmt.declarators:
+                if decl.pointer_depth > 0 or decl.array_sizes:
+                    pointer_like.add(decl.name)
+                    continue
+                if decl.init is not None:
+                    _record(definitions, decl.name, decl.init)
+    for expr in walk_expressions(function):
+        if isinstance(expr, Assignment) and isinstance(expr.target, Identifier):
+            name = expr.target.name
+            if expr.op == "=":
+                _record(definitions, name, expr.value)
+            else:
+                definitions[name] = None  # compound update: not a pure definition
+        elif isinstance(expr, IncDec) and isinstance(expr.operand, Identifier):
+            definitions[expr.operand.name] = None
+
+    return {
+        name: definition
+        for name, definition in definitions.items()
+        if definition is not None
+        and name not in pointer_like
+        and not _reads_memory(definition)
+        and not _mentions(definition, name)
+    }
+
+
+def _record(definitions: Dict[str, Optional[Expr]], name: str, value: Expr) -> None:
+    if name in definitions:
+        definitions[name] = None  # multiple definitions: give up on this local
+    else:
+        definitions[name] = value
+
+
+def _reads_memory(expr: Expr) -> bool:
+    for node in walk_expressions(expr):
+        if isinstance(node, ArrayIndex):
+            return True
+        if isinstance(node, UnaryOp) and node.op == "*":
+            return True
+    return False
+
+
+def _mentions(expr: Expr, name: str) -> bool:
+    return any(
+        isinstance(node, Identifier) and node.name == name
+        for node in walk_expressions(expr)
+    )
+
+
+def index_locals(function: FunctionDef) -> Set[str]:
+    """Locals whose value flows into a subscript index, transitively."""
+    definitions = scalar_definitions(function)
+    direct: Set[str] = set()
+    for expr in walk_expressions(function):
+        if isinstance(expr, ArrayIndex):
+            for node in walk_expressions(expr.index):
+                if isinstance(node, Identifier):
+                    direct.add(node.name)
+    # Transitive closure through the definitions of index locals.
+    changed = True
+    while changed:
+        changed = False
+        for name in list(direct):
+            definition = definitions.get(name)
+            if definition is None:
+                continue
+            for node in walk_expressions(definition):
+                if isinstance(node, Identifier) and node.name not in direct:
+                    direct.add(node.name)
+                    changed = True
+    return direct
+
+
+def inline_locals(
+    expr: Expr, definitions: Dict[str, Expr], depth: int = _MAX_INLINE_DEPTH
+) -> Expr:
+    """Substitute the definitions of scalar locals into *expr* (bounded depth)."""
+    if depth <= 0:
+        return expr
+    if isinstance(expr, Identifier):
+        definition = definitions.get(expr.name)
+        if definition is None:
+            return expr
+        return inline_locals(definition, definitions, depth - 1)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            inline_locals(expr.left, definitions, depth),
+            inline_locals(expr.right, definitions, depth),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, inline_locals(expr.operand, definitions, depth))
+    if isinstance(expr, Cast):
+        return Cast(expr.type, inline_locals(expr.operand, definitions, depth))
+    if isinstance(expr, Conditional):
+        return Conditional(
+            inline_locals(expr.condition, definitions, depth),
+            inline_locals(expr.then, definitions, depth),
+            inline_locals(expr.otherwise, definitions, depth),
+        )
+    if isinstance(expr, ArrayIndex):
+        return ArrayIndex(
+            inline_locals(expr.base, definitions, depth),
+            inline_locals(expr.index, definitions, depth),
+        )
+    return expr

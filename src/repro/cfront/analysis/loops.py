@@ -1,0 +1,157 @@
+"""Loop-structure analysis: induction variables and statement nesting.
+
+Downstream analyses (array recovery, delinearization, dimension prediction)
+all need to know *which loops enclose which statements* and *what each loop's
+induction variable is*.  This module computes both in one pass over the AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ast import (
+    Assignment,
+    BinaryOp,
+    Block,
+    Declaration,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Identifier,
+    If,
+    IncDec,
+    Stmt,
+    While,
+    walk_expressions,
+)
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """Description of one loop: its induction variable (if recognisable)."""
+
+    statement: Union[For, While, DoWhile]
+    induction_variable: Optional[str]
+    depth: int
+
+
+@dataclass
+class LoopNest:
+    """The loop structure of a function.
+
+    Attributes
+    ----------
+    loops:
+        Every loop in the function, outermost first within each nest.
+    enclosing:
+        Maps ``id(statement)`` to the tuple of induction variables of the
+        loops enclosing that statement (outermost first).  Statements that
+        are loop bodies include their own loop's variable.
+    """
+
+    loops: List[LoopInfo] = field(default_factory=list)
+    enclosing: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+
+    def induction_variables(self) -> Tuple[str, ...]:
+        """All recognised induction variables, outermost-first, de-duplicated."""
+        seen: Dict[str, None] = {}
+        for loop in self.loops:
+            if loop.induction_variable is not None:
+                seen.setdefault(loop.induction_variable, None)
+        return tuple(seen)
+
+    def variables_enclosing(self, stmt: Stmt) -> Tuple[str, ...]:
+        """Induction variables of the loops enclosing *stmt* (may be empty)."""
+        return self.enclosing.get(id(stmt), ())
+
+    def max_depth(self) -> int:
+        return max((loop.depth for loop in self.loops), default=0)
+
+
+def _for_induction_variable(loop: For) -> Optional[str]:
+    """The induction variable of a ``for`` loop, if it follows the usual shape."""
+    candidates: List[str] = []
+    init = loop.init
+    if isinstance(init, Declaration):
+        for decl in init.declarators:
+            candidates.append(decl.name)
+    elif isinstance(init, Assignment) and isinstance(init.target, Identifier):
+        candidates.append(init.target.name)
+    elif isinstance(init, Expr):
+        for expr in walk_expressions(init):
+            if isinstance(expr, Assignment) and isinstance(expr.target, Identifier):
+                candidates.append(expr.target.name)
+    update = loop.update
+    if update is not None:
+        for expr in walk_expressions(update):
+            if isinstance(expr, IncDec) and isinstance(expr.operand, Identifier):
+                candidates.append(expr.operand.name)
+            elif isinstance(expr, Assignment) and isinstance(expr.target, Identifier):
+                candidates.append(expr.target.name)
+    if not candidates:
+        return None
+    # Prefer a variable that appears both in init and update; otherwise the
+    # variable mentioned in the update (or the first candidate).
+    counts: Dict[str, int] = {}
+    for name in candidates:
+        counts[name] = counts.get(name, 0) + 1
+    best = max(counts.items(), key=lambda item: item[1])
+    return best[0]
+
+
+def _while_induction_variable(loop: Union[While, DoWhile]) -> Optional[str]:
+    """A best-effort induction variable for while/do-while loops.
+
+    We look for a variable that is both incremented in the body and used in
+    the loop condition.
+    """
+    condition_vars = {
+        expr.name
+        for expr in walk_expressions(loop.condition)
+        if isinstance(expr, Identifier)
+    }
+    incremented: List[str] = []
+    for expr in walk_expressions(loop.body):
+        if isinstance(expr, IncDec) and isinstance(expr.operand, Identifier):
+            incremented.append(expr.operand.name)
+        elif isinstance(expr, Assignment) and expr.op in ("+=", "-=") and isinstance(
+            expr.target, Identifier
+        ):
+            incremented.append(expr.target.name)
+    for name in incremented:
+        if name in condition_vars:
+            return name
+    return incremented[0] if incremented else None
+
+
+def analyze_loops(function: FunctionDef) -> LoopNest:
+    """Compute the loop nest structure of *function*."""
+    nest = LoopNest()
+
+    def visit(stmt: Stmt, enclosing: Tuple[str, ...], depth: int) -> None:
+        nest.enclosing[id(stmt)] = enclosing
+        if isinstance(stmt, Block):
+            for child in stmt.statements:
+                visit(child, enclosing, depth)
+        elif isinstance(stmt, If):
+            visit(stmt.then, enclosing, depth)
+            if stmt.otherwise is not None:
+                visit(stmt.otherwise, enclosing, depth)
+        elif isinstance(stmt, For):
+            variable = _for_induction_variable(stmt)
+            nest.loops.append(LoopInfo(stmt, variable, depth + 1))
+            inner = enclosing + ((variable,) if variable else ())
+            if isinstance(stmt.init, Stmt):
+                nest.enclosing[id(stmt.init)] = enclosing
+            visit(stmt.body, inner, depth + 1)
+        elif isinstance(stmt, (While, DoWhile)):
+            variable = _while_induction_variable(stmt)
+            nest.loops.append(LoopInfo(stmt, variable, depth + 1))
+            inner = enclosing + ((variable,) if variable else ())
+            visit(stmt.body, inner, depth + 1)
+
+    visit(function.body, (), 0)
+    return nest

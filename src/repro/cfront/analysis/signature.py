@@ -1,0 +1,300 @@
+"""Function-signature analysis: classify arguments and find the output.
+
+STAGG's template validator (Section 6) needs to know, for every argument of
+the legacy C function, whether it is a *tensor* (a pointer walked by the
+kernel), a *scalar value* or a *size parameter* (an ``int`` used only as a
+loop bound / extent), and which argument holds the kernel's *output*.  The
+verifier and the I/O-example generator need the same information to allocate
+and compare buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ast import (
+    ArrayIndex,
+    Assignment,
+    BinaryOp,
+    Declaration,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Identifier,
+    IncDec,
+    Return,
+    Stmt,
+    UnaryOp,
+    walk_expressions,
+    walk_statements,
+    statement_expressions,
+)
+from ..errors import CAnalysisError
+from .pointers import analyze_pointers
+
+
+class ArgumentKind(Enum):
+    """How a function argument participates in the kernel."""
+
+    TENSOR = auto()       # pointer argument holding tensor data
+    SCALAR = auto()       # value argument participating in arithmetic
+    SIZE = auto()         # integer argument used (only) as a loop bound / extent
+    OUTPUT = auto()       # the argument written by the kernel
+
+
+class OutputKind(Enum):
+    """How the kernel communicates its result."""
+
+    ARGUMENT = auto()     # written through a pointer argument
+    RETURN = auto()       # returned from the function
+
+
+@dataclass
+class ArgumentInfo:
+    name: str
+    kind: ArgumentKind
+    is_pointer: bool
+    base_type: str
+
+
+@dataclass
+class SignatureInfo:
+    """The classified signature of a kernel function."""
+
+    function_name: str
+    arguments: List[ArgumentInfo] = field(default_factory=list)
+    output_kind: OutputKind = OutputKind.ARGUMENT
+    output_argument: Optional[str] = None
+
+    def tensors(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.arguments if a.kind is ArgumentKind.TENSOR)
+
+    def sizes(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.arguments if a.kind is ArgumentKind.SIZE)
+
+    def scalars(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.arguments if a.kind is ArgumentKind.SCALAR)
+
+    def inputs(self) -> Tuple[str, ...]:
+        """Every argument except the output, in declaration order."""
+        return tuple(
+            a.name for a in self.arguments if a.kind is not ArgumentKind.OUTPUT
+        )
+
+    def argument(self, name: str) -> ArgumentInfo:
+        for arg in self.arguments:
+            if arg.name == name:
+                return arg
+        raise KeyError(name)
+
+
+def _written_pointer_parameters(function: FunctionDef) -> Set[str]:
+    """Pointer parameters written to, directly or through local pointer aliases."""
+    aliases = analyze_pointers(function)
+    pointer_params = {p.name for p in function.parameters if p.type.is_pointer}
+    written: Set[str] = set()
+
+    def written_base(target: Expr) -> Optional[str]:
+        # A[i] = ...      -> base chain down to an identifier
+        # *p = ... / *p++ = ... / *(p+k) = ... -> pointer alias target
+        node = target
+        while isinstance(node, ArrayIndex):
+            node = node.base
+        if isinstance(node, UnaryOp) and node.op == "*":
+            inner = node.operand
+            while isinstance(inner, (BinaryOp, IncDec)):
+                inner = inner.left if isinstance(inner, BinaryOp) else inner.operand
+            if isinstance(inner, Identifier):
+                return inner.name
+            return None
+        if isinstance(node, Identifier):
+            return node.name
+        return None
+
+    for expr in walk_expressions(function):
+        if isinstance(expr, Assignment):
+            base = written_base(expr.target)
+            if base is None:
+                continue
+            resolved = aliases.resolve(base)
+            if resolved in pointer_params:
+                # Assigning a pointer-typed local (p = Mat1) is not a data write.
+                if isinstance(expr.target, Identifier) and expr.target.name not in pointer_params:
+                    continue
+                if isinstance(expr.target, Identifier) and expr.target.name in pointer_params:
+                    # Writing the parameter variable itself only counts when it
+                    # is a scalar store (never the case for pointers).
+                    continue
+                written.add(resolved)
+    return written
+
+
+def _control_expressions(function: FunctionDef) -> Set[int]:
+    """ids of every expression node used purely for loop control."""
+    from ..ast import DoWhile, While
+
+    control_exprs: Set[int] = set()
+
+    def mark(expr) -> None:
+        if isinstance(expr, Expr):
+            for node in walk_expressions(expr):
+                control_exprs.add(id(node))
+
+    for stmt in walk_statements(function):
+        if isinstance(stmt, For):
+            mark(stmt.init)
+            mark(stmt.condition)
+            mark(stmt.update)
+        elif isinstance(stmt, (While, DoWhile)):
+            mark(stmt.condition)
+    return control_exprs
+
+
+def _arithmetic_use_names(function: FunctionDef) -> Set[str]:
+    """Names of parameters used inside arithmetic (non-control) expressions."""
+    used: Set[str] = set()
+    control_exprs = _control_expressions(function)
+    for expr in walk_expressions(function):
+        if id(expr) in control_exprs:
+            continue
+        if isinstance(expr, Identifier):
+            used.add(expr.name)
+    return used
+
+
+def analyze_signature(function: FunctionDef) -> SignatureInfo:
+    """Classify the arguments of *function* and locate its output."""
+    info = SignatureInfo(function_name=function.name)
+    written = _written_pointer_parameters(function)
+    pointer_vars = analyze_pointers(function).pointer_variables
+    has_return_value = any(
+        isinstance(stmt, Return) and stmt.value is not None
+        for stmt in walk_statements(function)
+    )
+    arithmetic_uses = _arithmetic_use_names(function)
+
+    output_argument: Optional[str] = None
+    for param in function.parameters:
+        if param.type.is_pointer and param.name in written:
+            # The *last* written pointer parameter wins if several are
+            # written; corpora conventionally put the output last, but we
+            # prefer an unambiguous single choice.
+            output_argument = param.name
+
+    if output_argument is None and not has_return_value:
+        raise CAnalysisError(
+            f"function {function.name!r} writes no pointer argument and returns nothing"
+        )
+
+    for param in function.parameters:
+        if param.name == output_argument:
+            kind = ArgumentKind.OUTPUT
+        elif param.type.is_pointer:
+            kind = ArgumentKind.TENSOR
+        elif param.type.base == "int" and param.name not in arithmetic_uses:
+            kind = ArgumentKind.SIZE
+        elif param.type.base == "int":
+            # Integers used in arithmetic may still be pure size parameters if
+            # they only ever appear inside subscripts / pointer offsets.
+            kind = (
+                ArgumentKind.SIZE
+                if _only_used_in_addressing(function, param.name, pointer_vars)
+                else ArgumentKind.SCALAR
+            )
+        else:
+            kind = ArgumentKind.SCALAR
+        info.arguments.append(
+            ArgumentInfo(param.name, kind, param.type.is_pointer, param.type.base)
+        )
+
+    info.output_kind = OutputKind.ARGUMENT if output_argument else OutputKind.RETURN
+    info.output_argument = output_argument
+    return info
+
+
+def _only_used_in_addressing(
+    function: FunctionDef, name: str, pointer_vars: Set[str]
+) -> bool:
+    """True when *name* appears only inside subscripts, loop control or pointer math.
+
+    "Addressing" also covers definitions of index temporaries such as
+    ``int idx = i * cols + j;`` — the size parameters appearing there are
+    still pure extent/stride values, not data.
+    """
+    from ..ast import DoWhile, While
+    from .locals import index_locals
+
+    addressing_locals = index_locals(function) | pointer_vars
+    for stmt in walk_statements(function):
+        if isinstance(stmt, Declaration):
+            for decl in stmt.declarators:
+                if decl.init is None:
+                    continue
+                if decl.name in addressing_locals:
+                    continue
+                if _appears_outside_addressing(decl.init, name, addressing_locals):
+                    return False
+            continue
+        for top in statement_expressions(stmt):
+            if isinstance(stmt, For) and top in (
+                getattr(stmt, "init", None),
+                getattr(stmt, "condition", None),
+                getattr(stmt, "update", None),
+            ):
+                continue
+            if isinstance(stmt, (While, DoWhile)) and top is stmt.condition:
+                continue
+            if _appears_outside_addressing(top, name, addressing_locals):
+                return False
+    return True
+
+
+def _mentions_pointer(expr: Expr, pointer_vars: Set[str]) -> bool:
+    return any(
+        isinstance(node, Identifier) and node.name in pointer_vars
+        for node in walk_expressions(expr)
+    )
+
+
+def _appears_outside_addressing(
+    expr: Expr, name: str, pointer_vars: Set[str], addressing: bool = False
+) -> bool:
+    """Does *name* occur outside an addressing context in *expr*?
+
+    Addressing contexts are array-subscript index expressions and any
+    expression that also involves a pointer variable (pointer arithmetic such
+    as ``p += N`` or ``p = A + i * N``).
+    """
+    if isinstance(expr, Identifier):
+        return expr.name == name and not addressing
+    if isinstance(expr, ArrayIndex):
+        return _appears_outside_addressing(
+            expr.base, name, pointer_vars, addressing
+        ) or _appears_outside_addressing(expr.index, name, pointer_vars, True)
+    if isinstance(expr, Assignment):
+        target_is_pointer = (
+            isinstance(expr.target, Identifier) and expr.target.name in pointer_vars
+        )
+        return _appears_outside_addressing(
+            expr.target, name, pointer_vars, addressing
+        ) or _appears_outside_addressing(
+            expr.value, name, pointer_vars, addressing or target_is_pointer
+        )
+    if isinstance(expr, BinaryOp):
+        involves_pointer = _mentions_pointer(expr, pointer_vars)
+        return _appears_outside_addressing(
+            expr.left, name, pointer_vars, addressing or involves_pointer
+        ) or _appears_outside_addressing(
+            expr.right, name, pointer_vars, addressing or involves_pointer
+        )
+    if isinstance(expr, UnaryOp):
+        return _appears_outside_addressing(expr.operand, name, pointer_vars, addressing)
+    if isinstance(expr, IncDec):
+        return _appears_outside_addressing(expr.operand, name, pointer_vars, addressing)
+    for child in getattr(expr, "args", []) or []:
+        if _appears_outside_addressing(child, name, pointer_vars, addressing):
+            return True
+    return False

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the mini-C front end."""
+
+from __future__ import annotations
+
+
+class CFrontError(Exception):
+    """Base class for all mini-C front-end errors."""
+
+
+class CSyntaxError(CFrontError):
+    """Raised when a C source fragment cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+
+
+class CTypeError(CFrontError):
+    """Raised for semantically ill-formed programs (e.g. indexing a scalar)."""
+
+
+class CRuntimeError(CFrontError):
+    """Raised when interpretation fails (out-of-bounds access, bad pointer, ...)."""
+
+
+class CAnalysisError(CFrontError):
+    """Raised when a static analysis cannot produce a result for a program."""

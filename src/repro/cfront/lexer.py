@@ -1,0 +1,174 @@
+"""Tokenizer for the mini-C subset used by the benchmark kernels.
+
+The subset covers everything the paper's benchmark corpus needs: function
+definitions over ``int``/``float``/``double`` scalars and pointers, ``for``
+and ``while`` loops, array subscripts, pointer arithmetic (including
+``*p++``-style idioms), compound assignment and the usual arithmetic,
+relational and logical operators.  Comments (``//`` and ``/* */``) and
+preprocessor lines are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List
+
+from .errors import CSyntaxError
+
+
+class CTokenKind(Enum):
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    INT_LITERAL = auto()
+    FLOAT_LITERAL = auto()
+    PUNCT = auto()
+    END = auto()
+
+
+#: Keywords recognised by the parser.  ``unsigned``/``const``/``long`` are
+#: accepted and folded into the base type.
+KEYWORDS = {
+    "int",
+    "float",
+    "double",
+    "void",
+    "long",
+    "short",
+    "char",
+    "unsigned",
+    "signed",
+    "const",
+    "for",
+    "while",
+    "do",
+    "if",
+    "else",
+    "return",
+    "sizeof",
+}
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_MULTI_PUNCT = [
+    "<<=",
+    ">>=",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "->",
+    "<<",
+    ">>",
+]
+
+_SINGLE_PUNCT = set("+-*/%=<>!&|^~?:;,.(){}[]")
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: CTokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CToken({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[CToken]:
+    """Tokenize *source*, returning a list terminated by an END token."""
+    tokens: List[CToken] = []
+    i = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < length and source[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < length:
+        ch = source[i]
+        # Whitespace
+        if ch.isspace():
+            advance(1)
+            continue
+        # Preprocessor lines: skip to end of line.
+        if ch == "#" and column == 1:
+            while i < length and source[i] != "\n":
+                advance(1)
+            continue
+        # Line comments
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                advance(1)
+            continue
+        # Block comments
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise CSyntaxError("unterminated block comment", line, column)
+            advance(end + 2 - i)
+            continue
+        # Numbers
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, column
+            is_float = False
+            while i < length and (source[i].isdigit() or source[i] in ".eE+-xX"):
+                if source[i] in ".eE":
+                    # Stop at '+'/'-' unless they follow an exponent marker.
+                    is_float = is_float or source[i] == "." or source[i] in "eE"
+                if source[i] in "+-" and source[i - 1] not in "eE":
+                    break
+                advance(1)
+            text = source[start:i]
+            # Trailing suffixes (f, u, l) are tolerated.
+            while i < length and source[i] in "fFuUlL":
+                is_float = is_float or source[i] in "fF"
+                advance(1)
+            kind = CTokenKind.FLOAT_LITERAL if is_float else CTokenKind.INT_LITERAL
+            tokens.append(CToken(kind, text, start_line, start_col))
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, column
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = CTokenKind.KEYWORD if text in KEYWORDS else CTokenKind.IDENTIFIER
+            tokens.append(CToken(kind, text, start_line, start_col))
+            continue
+        # Punctuation
+        matched = False
+        for punct in _MULTI_PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(CToken(CTokenKind.PUNCT, punct, line, column))
+                advance(len(punct))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_PUNCT:
+            tokens.append(CToken(CTokenKind.PUNCT, ch, line, column))
+            advance(1)
+            continue
+        raise CSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(CToken(CTokenKind.END, "", line, column))
+    return tokens

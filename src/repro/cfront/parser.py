@@ -1,0 +1,422 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Grammar coverage (enough for the dense tensor kernels of the corpus):
+
+* translation unit := function-definition+
+* function-definition := type IDENT "(" param-list ")" compound-statement
+* statements: declarations, expression statements, ``for``, ``while``,
+  ``do``/``while``, ``if``/``else``, ``return``, blocks, empty statements
+* expressions with C precedence: assignment (``=``, ``+=``, ``-=``, ``*=``,
+  ``/=``), ternary, ``||``, ``&&``, equality, relational, additive,
+  multiplicative (including ``%``), unary (``-``, ``!``, ``*``, ``&``,
+  ``++``, ``--``, casts), postfix (subscripts, calls, ``++``, ``--``)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    ArrayIndex,
+    Assignment,
+    BinaryOp,
+    Block,
+    Call,
+    Cast,
+    Conditional,
+    CType,
+    Declaration,
+    Declarator,
+    DoWhile,
+    Empty,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FunctionDef,
+    Identifier,
+    If,
+    IncDec,
+    IntLiteral,
+    Parameter,
+    Return,
+    Stmt,
+    TranslationUnit,
+    UnaryOp,
+    While,
+)
+from .errors import CSyntaxError
+from .lexer import CToken, CTokenKind, tokenize
+
+_TYPE_KEYWORDS = {"int", "float", "double", "void", "long", "short", "char", "unsigned", "signed", "const"}
+_BASE_TYPES = {"int", "float", "double", "void", "long", "short", "char"}
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[CToken]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> CToken:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> CToken:
+        tok = self._tokens[self._pos]
+        if tok.kind is not CTokenKind.END:
+            self._pos += 1
+        return tok
+
+    def _check(self, text: str) -> bool:
+        return self._peek().text == text and self._peek().kind is not CTokenKind.END
+
+    def _check_kind(self, kind: CTokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _match(self, text: str) -> Optional[CToken]:
+        if self._check(text):
+            return self._advance()
+        return None
+
+    def _expect(self, text: str) -> CToken:
+        tok = self._peek()
+        if tok.text != text:
+            raise CSyntaxError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.column)
+        return self._advance()
+
+    def _expect_identifier(self) -> CToken:
+        tok = self._peek()
+        if tok.kind is not CTokenKind.IDENTIFIER:
+            raise CSyntaxError(f"expected an identifier, found {tok.text!r}", tok.line, tok.column)
+        return self._advance()
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        return tok.kind is CTokenKind.KEYWORD and tok.text in _TYPE_KEYWORDS
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def parse_translation_unit(self) -> TranslationUnit:
+        functions: List[FunctionDef] = []
+        while not self._check_kind(CTokenKind.END):
+            functions.append(self._parse_function())
+        if not functions:
+            raise CSyntaxError("no function definitions found")
+        return TranslationUnit(functions)
+
+    def _parse_type(self) -> CType:
+        if not self._at_type():
+            tok = self._peek()
+            raise CSyntaxError(f"expected a type, found {tok.text!r}", tok.line, tok.column)
+        base = "int"
+        saw_base = False
+        while self._at_type():
+            text = self._advance().text
+            if text in _BASE_TYPES:
+                base = text
+                saw_base = True
+            # const / unsigned / signed are accepted and ignored
+        if not saw_base:
+            base = "int"
+        depth = 0
+        while self._match("*"):
+            depth += 1
+        return CType(base, depth)
+
+    def _parse_function(self) -> FunctionDef:
+        return_type = self._parse_type()
+        name = self._expect_identifier().text
+        self._expect("(")
+        parameters: List[Parameter] = []
+        if not self._check(")"):
+            while True:
+                ptype = self._parse_type()
+                while self._match("*"):
+                    ptype = CType(ptype.base, ptype.pointer_depth + 1)
+                pname = self._expect_identifier().text
+                # Array-style parameters (e.g. ``int A[]`` or ``int A[N]``)
+                while self._match("["):
+                    if not self._check("]"):
+                        self._parse_expression()
+                    self._expect("]")
+                    ptype = CType(ptype.base, ptype.pointer_depth + 1)
+                parameters.append(Parameter(pname, ptype))
+                if not self._match(","):
+                    break
+        self._expect(")")
+        body = self._parse_block()
+        return FunctionDef(name, return_type, parameters, body)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _parse_block(self) -> Block:
+        self._expect("{")
+        statements: List[Stmt] = []
+        while not self._check("}"):
+            statements.append(self._parse_statement())
+        self._expect("}")
+        return Block(statements)
+
+    def _parse_statement(self) -> Stmt:
+        if self._check("{"):
+            return self._parse_block()
+        if self._check(";"):
+            self._advance()
+            return Empty()
+        if self._at_type():
+            return self._parse_declaration()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("do"):
+            return self._parse_do_while()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("return"):
+            self._advance()
+            value = None if self._check(";") else self._parse_expression()
+            self._expect(";")
+            return Return(value)
+        expr = self._parse_expression()
+        self._expect(";")
+        return ExprStmt(expr)
+
+    def _parse_declaration(self) -> Declaration:
+        ctype = self._parse_type()
+        base = ctype.base
+        declarators: List[Declarator] = []
+        while True:
+            depth = ctype.pointer_depth
+            while self._match("*"):
+                depth += 1
+            name = self._expect_identifier().text
+            sizes: List[Optional[Expr]] = []
+            while self._match("["):
+                if self._check("]"):
+                    sizes.append(None)
+                else:
+                    sizes.append(self._parse_expression())
+                self._expect("]")
+            init = None
+            if self._match("="):
+                init = self._parse_assignment()
+            declarators.append(Declarator(name, depth, sizes, init))
+            if not self._match(","):
+                break
+            # After the first declarator, the pointer depth resets per-name.
+            ctype = CType(base, 0)
+        self._expect(";")
+        return Declaration(base, declarators)
+
+    def _parse_for(self) -> For:
+        self._expect("for")
+        self._expect("(")
+        init: Optional[Stmt | Expr]
+        if self._check(";"):
+            self._advance()
+            init = None
+        elif self._at_type():
+            init = self._parse_declaration()
+        else:
+            init = self._parse_expression()
+            self._expect(";")
+        condition = None if self._check(";") else self._parse_expression()
+        self._expect(";")
+        update = None if self._check(")") else self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return For(init, condition, update, body)
+
+    def _parse_while(self) -> While:
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return While(condition, body)
+
+    def _parse_do_while(self) -> DoWhile:
+        self._expect("do")
+        body = self._parse_statement()
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return DoWhile(body, condition)
+
+    def _parse_if(self) -> If:
+        self._expect("if")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._match("else"):
+            otherwise = self._parse_statement()
+        return If(condition, then, otherwise)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> Expr:
+        expr = self._parse_assignment()
+        # The comma operator is parsed but only the last value is kept; it
+        # appears in some for-loop updates (``i++, j++``).
+        while self._match(","):
+            right = self._parse_assignment()
+            expr = BinaryOp(",", expr, right)
+        return expr
+
+    def _parse_assignment(self) -> Expr:
+        target = self._parse_conditional()
+        tok = self._peek()
+        if tok.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return Assignment(tok.text, target, value)
+        return target
+
+    def _parse_conditional(self) -> Expr:
+        condition = self._parse_logical_or()
+        if self._match("?"):
+            then = self._parse_expression()
+            self._expect(":")
+            otherwise = self._parse_conditional()
+            return Conditional(condition, then, otherwise)
+        return condition
+
+    def _parse_logical_or(self) -> Expr:
+        left = self._parse_logical_and()
+        while self._check("||"):
+            self._advance()
+            right = self._parse_logical_and()
+            left = BinaryOp("||", left, right)
+        return left
+
+    def _parse_logical_and(self) -> Expr:
+        left = self._parse_equality()
+        while self._check("&&"):
+            self._advance()
+            right = self._parse_equality()
+            left = BinaryOp("&&", left, right)
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_relational()
+        while self._peek().text in ("==", "!="):
+            op = self._advance().text
+            right = self._parse_relational()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_additive()
+        while self._peek().text in ("<", ">", "<=", ">="):
+            op = self._advance().text
+            right = self._parse_additive()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().text in ("+", "-"):
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().text in ("*", "/", "%"):
+            op = self._advance().text
+            right = self._parse_unary()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        if tok.text in ("-", "+", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return UnaryOp(tok.text, operand)
+        if tok.text in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return IncDec(tok.text, operand, is_prefix=True)
+        # Cast: "(" type ... ")" unary
+        if tok.text == "(" and self._peek(1).kind is CTokenKind.KEYWORD and self._peek(1).text in _TYPE_KEYWORDS:
+            self._advance()
+            ctype = self._parse_type()
+            self._expect(")")
+            operand = self._parse_unary()
+            return Cast(ctype, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._match("["):
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ArrayIndex(expr, index)
+            elif self._check("(") and isinstance(expr, Identifier):
+                self._advance()
+                args: List[Expr] = []
+                if not self._check(")"):
+                    args.append(self._parse_assignment())
+                    while self._match(","):
+                        args.append(self._parse_assignment())
+                self._expect(")")
+                expr = Call(expr.name, args)
+            elif self._peek().text in ("++", "--"):
+                op = self._advance().text
+                expr = IncDec(op, expr, is_prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is CTokenKind.INT_LITERAL:
+            self._advance()
+            return IntLiteral(int(tok.text, 0))
+        if tok.kind is CTokenKind.FLOAT_LITERAL:
+            self._advance()
+            return FloatLiteral(float(tok.text))
+        if tok.kind is CTokenKind.IDENTIFIER:
+            self._advance()
+            return Identifier(tok.text)
+        if tok.text == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if tok.text == "sizeof":
+            self._advance()
+            self._expect("(")
+            # sizeof is not meaningful for our kernels; evaluate to 1.
+            if self._at_type():
+                self._parse_type()
+            else:
+                self._parse_expression()
+            self._expect(")")
+            return IntLiteral(1)
+        raise CSyntaxError(f"unexpected token {tok.text!r}", tok.line, tok.column)
+
+
+def parse_translation_unit(source: str) -> TranslationUnit:
+    """Parse a C source string containing one or more function definitions."""
+    return _Parser(tokenize(source)).parse_translation_unit()
+
+
+def parse_function(source: str, name: Optional[str] = None) -> FunctionDef:
+    """Parse a C source string and return one function (by name or the first)."""
+    return parse_translation_unit(source).function(name)

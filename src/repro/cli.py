@@ -1,0 +1,421 @@
+"""Command-line interface for the STAGG reproduction.
+
+The CLI exposes the library's main entry points without writing any Python:
+
+``python -m repro corpus list``
+    List the 77-benchmark corpus (optionally filtered by category).
+``python -m repro corpus show <name>``
+    Print one benchmark's C source, ground truth and input specification.
+``python -m repro corpus stats``
+    Print corpus statistics (category counts, rank distribution).
+``python -m repro oracle <name>``
+    Show the Prompt-1 text and the synthetic oracle's candidate list for a
+    benchmark (useful for inspecting / recording oracle behaviour).
+``python -m repro lift <name-or-file.c>``
+    Lift a corpus benchmark, or an arbitrary C file, to TACO.
+``python -m repro evaluate``
+    Run the evaluation harness over a corpus slice and print the paper's
+    tables and figures.
+
+The CLI is a thin shell over the public API; every subcommand returns a
+process exit status (0 on success) and prints to stdout, so it is easy to
+script and to test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
+from .core.task import InputSpec, LiftingTask
+from .cfront import parse_function
+from .cfront.analysis import analyze_signature, predict_dimensions
+from .evaluation import (
+    EvaluationRunner,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    format_table,
+    grammar_ablation_methods,
+    method_metrics,
+    penalty_ablation_methods,
+    save_csv,
+    save_json,
+    standard_methods,
+    table1,
+    table2,
+    table3,
+    text_report,
+)
+from .llm import (
+    LiftingQuery,
+    OracleConfig,
+    RecordedOracle,
+    StaticOracle,
+    SyntheticOracle,
+)
+from .suite import (
+    all_benchmarks,
+    benchmarks_by_category,
+    corpus_statistics,
+    get_benchmark,
+    select,
+)
+from .taco import to_c_source, to_numpy_source
+
+
+# ---------------------------------------------------------------------- #
+# Argument parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STAGG (Guided Tensor Lifting, PLDI 2025) reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    corpus = subparsers.add_parser("corpus", help="inspect the benchmark corpus")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_list = corpus_sub.add_parser("list", help="list benchmarks")
+    corpus_list.add_argument("--category", action="append", default=None)
+    corpus_list.add_argument("--real-world-only", action="store_true")
+    corpus_show = corpus_sub.add_parser("show", help="show one benchmark")
+    corpus_show.add_argument("name")
+    corpus_sub.add_parser("stats", help="corpus statistics")
+
+    oracle = subparsers.add_parser("oracle", help="show oracle prompt and candidates")
+    oracle.add_argument("name", help="benchmark name")
+    oracle.add_argument("--seed", type=int, default=None, help="oracle RNG seed")
+    oracle.add_argument(
+        "--candidates", type=int, default=None, help="number of candidates to request"
+    )
+
+    lift = subparsers.add_parser("lift", help="lift a benchmark or a C file to TACO")
+    lift.add_argument("target", help="benchmark name or path to a .c file")
+    lift.add_argument(
+        "--search", choices=("topdown", "bottomup"), default="topdown",
+        help="which A* search to use (default: topdown)",
+    )
+    lift.add_argument(
+        "--grammar", choices=("refined", "full"), default="refined",
+        help="grammar mode (the FullGrammar/LLMGrammar ablations use 'full')",
+    )
+    lift.add_argument(
+        "--probabilities", choices=("learned", "equal"), default="learned",
+        help="probability mode for the pCFG",
+    )
+    lift.add_argument("--timeout", type=float, default=60.0, help="time budget (s)")
+    lift.add_argument(
+        "--reference", default=None,
+        help="ground-truth TACO expression (required to lift a raw .c file "
+        "with the synthetic oracle)",
+    )
+    lift.add_argument(
+        "--recorded", default=None,
+        help="path to a recorded-oracle JSON file to use instead of the "
+        "synthetic oracle",
+    )
+    lift.add_argument(
+        "--candidate", action="append", default=None,
+        help="explicit candidate TACO expression (repeatable); uses a static "
+        "oracle instead of the synthetic one",
+    )
+    lift.add_argument(
+        "--spec", default=None,
+        help="path to a JSON input specification for a raw .c file "
+        '(e.g. {"sizes": {"N": 8}, "arrays": {"out": ["N"], "in": ["N"]}})',
+    )
+    lift.add_argument(
+        "--emit", choices=("taco", "numpy", "c"), default="taco",
+        help="what to print for the lifted program (default: taco)",
+    )
+    lift.add_argument("--seed", type=int, default=7, help="I/O-example seed")
+
+    evaluate = subparsers.add_parser("evaluate", help="run the evaluation harness")
+    evaluate.add_argument(
+        "--methods", choices=("standard", "penalties", "grammars"),
+        default="standard",
+        help="which method set to run (Table 1 / Table 2 / Table 3)",
+    )
+    evaluate.add_argument("--category", action="append", default=None)
+    evaluate.add_argument("--limit", type=int, default=None, help="first N benchmarks")
+    evaluate.add_argument("--stride", type=int, default=1, help="every k-th benchmark")
+    evaluate.add_argument("--real-world-only", action="store_true")
+    evaluate.add_argument("--timeout", type=float, default=10.0, help="per-query budget (s)")
+    evaluate.add_argument(
+        "--table", type=int, choices=(1, 2, 3), default=None,
+        help="print one of the paper's tables",
+    )
+    evaluate.add_argument(
+        "--figure", type=int, choices=(9, 10, 11, 12), default=None,
+        help="print one of the paper's figures as a data series",
+    )
+    evaluate.add_argument("--output", default=None, help="directory for CSV/JSON records")
+    evaluate.add_argument("--seed", type=int, default=2025, help="oracle seed")
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# Subcommand implementations
+# ---------------------------------------------------------------------- #
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.corpus_command == "list":
+        benchmarks = select(
+            categories=args.category, real_world_only=args.real_world_only
+        )
+        for benchmark in benchmarks:
+            print(
+                f"{benchmark.name:35s} rank<={benchmark.max_rank()} "
+                f"operands={benchmark.num_operands()}  {benchmark.ground_truth}"
+            )
+        print(f"({len(benchmarks)} benchmarks)")
+        return 0
+    if args.corpus_command == "show":
+        try:
+            benchmark = get_benchmark(args.name)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 1
+        print(f"# {benchmark.name}  [{benchmark.category}]")
+        if benchmark.description:
+            print(f"# {benchmark.description}")
+        print(f"# ground truth: {benchmark.ground_truth}")
+        print(f"# input spec: sizes={dict(benchmark.spec.sizes)} "
+              f"arrays={ {k: list(v) for k, v in benchmark.spec.arrays.items()} }")
+        print(benchmark.c_source.strip())
+        return 0
+    # stats
+    statistics = corpus_statistics()
+    print(f"total benchmarks : {statistics['total']}")
+    print(f"real-world       : {statistics['real_world']}")
+    print(f"artificial       : {statistics['artificial']}")
+    print(f"max tensor rank  : {statistics['max_rank']}")
+    print("by category:")
+    for category, count in sorted(statistics["by_category"].items()):
+        print(f"  {category:12s} {count}")
+    return 0
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    try:
+        benchmark = get_benchmark(args.name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 1
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.candidates is not None:
+        overrides["num_candidates"] = args.candidates
+    oracle = SyntheticOracle(OracleConfig(**overrides))
+    task = benchmark.task()
+    query = LiftingQuery(
+        c_source=task.c_source, name=task.name, reference_solution=task.reference_solution
+    )
+    print("--- Prompt (Prompt 1 of the paper) ---")
+    print(oracle.prompt_for(query))
+    response = oracle.propose(query)
+    print("--- Raw response ---")
+    print(response.raw_text)
+    print("--- Parsed candidates ---")
+    for candidate in response.candidates:
+        print(f"  {candidate}")
+    print(f"({response.num_valid} valid, {response.num_rejected} rejected)")
+    return 0
+
+
+def infer_input_spec(c_source: str, function_name: Optional[str] = None) -> InputSpec:
+    """Best-effort input specification for an arbitrary C kernel.
+
+    Array ranks come from the same static analysis STAGG uses for dimension
+    prediction; every size parameter defaults to 8, every array is given a
+    hyper-cubic shape of its predicted rank, and scalars get a small default
+    range.  This is what ``repro lift some_file.c`` uses when no ``--spec``
+    file is provided.
+    """
+    function = parse_function(c_source, function_name)
+    signature = analyze_signature(function)
+    prediction = predict_dimensions(function)
+    sizes: Dict[str, int] = {}
+    arrays: Dict[str, tuple] = {}
+    scalars: Dict[str, tuple] = {}
+    size_names = [a.name for a in signature.arguments if a.kind.name == "SIZE"]
+    default_extent = size_names[0] if size_names else 8
+    for name in size_names:
+        sizes[name] = 8
+    for argument in signature.arguments:
+        if argument.kind.name == "SIZE":
+            continue
+        if argument.is_pointer:
+            rank = max(1, prediction.rank(argument.name))
+            arrays[argument.name] = tuple([default_extent] * rank)
+        else:
+            scalars[argument.name] = (1, 5)
+    return InputSpec(sizes=sizes, arrays=arrays, scalars=scalars)
+
+
+def _load_spec(path: str) -> InputSpec:
+    """Load an :class:`InputSpec` from a JSON file."""
+    data = json.loads(Path(path).read_text())
+    return InputSpec(
+        sizes=dict(data.get("sizes", {})),
+        arrays={name: tuple(shape) for name, shape in data.get("arrays", {}).items()},
+        scalars={name: tuple(bounds) for name, bounds in data.get("scalars", {}).items()},
+        avoid_zero=bool(data.get("avoid_zero", False)),
+    )
+
+
+def _task_for_target(args: argparse.Namespace) -> LiftingTask:
+    """Resolve the ``lift`` target: corpus benchmark name or path to a C file."""
+    path = Path(args.target)
+    if path.suffix == ".c" or path.exists():
+        c_source = path.read_text()
+        spec = _load_spec(args.spec) if args.spec else infer_input_spec(c_source)
+        return LiftingTask(
+            name=path.stem,
+            c_source=c_source,
+            spec=spec,
+            reference_solution=args.reference,
+            category="user",
+        )
+    benchmark = get_benchmark(args.target)
+    task = benchmark.task()
+    if args.reference:
+        task = task.with_reference(args.reference)
+    return task
+
+
+def _oracle_for_lift(args: argparse.Namespace, task: LiftingTask):
+    """Choose the oracle implied by the ``lift`` arguments."""
+    if args.candidate:
+        return StaticOracle(args.candidate)
+    if args.recorded:
+        return RecordedOracle(args.recorded)
+    if task.reference_solution is None:
+        raise SystemExit(
+            "lifting a raw C file with the synthetic oracle requires --reference "
+            "(or provide candidates via --candidate / --recorded)"
+        )
+    return SyntheticOracle(OracleConfig())
+
+
+def _cmd_lift(args: argparse.Namespace) -> int:
+    try:
+        task = _task_for_target(args)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 1
+    oracle = _oracle_for_lift(args, task)
+    config = StaggConfig(
+        search=args.search,
+        grammar_mode=args.grammar,
+        probability_mode=args.probabilities,
+        limits=SearchLimits(timeout_seconds=args.timeout),
+        verifier=VerifierConfig(),
+        seed=args.seed,
+        label=f"STAGG_{'TD' if args.search == 'topdown' else 'BU'}",
+    )
+    report = StaggSynthesizer(oracle, config).lift(task)
+    print(report.summary())
+    if not report.success:
+        if report.error:
+            print(f"error: {report.error}", file=sys.stderr)
+        return 2
+    program = report.lifted_program
+    if args.emit == "numpy":
+        print(to_numpy_source(program))
+    elif args.emit == "c":
+        print(to_c_source(program))
+    else:
+        print(str(program))
+    return 0
+
+
+def _method_factory(name: str):
+    return {
+        "standard": standard_methods,
+        "penalties": penalty_ablation_methods,
+        "grammars": grammar_ablation_methods,
+    }[name]
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    benchmarks = select(
+        categories=args.category,
+        real_world_only=args.real_world_only,
+        limit=args.limit,
+    )
+    if args.stride > 1:
+        benchmarks = benchmarks[:: args.stride]
+    if not benchmarks:
+        print("no benchmarks selected", file=sys.stderr)
+        return 1
+    oracle = SyntheticOracle(OracleConfig(seed=args.seed))
+    methods = _method_factory(args.methods)(
+        oracle=oracle, timeout_seconds=args.timeout
+    )
+    print(
+        f"running {len(methods)} methods over {len(benchmarks)} benchmarks "
+        f"(timeout {args.timeout:.0f}s per query)"
+    )
+    result = EvaluationRunner(
+        methods,
+        benchmarks,
+        progress=lambda method, name, report: print(f"  {report.summary()}"),
+    ).run()
+
+    if args.table == 1:
+        print(format_table(table1(result), "Table 1 (reproduced)"))
+    elif args.table == 2:
+        print(format_table(table2(result), "Table 2 (reproduced)"))
+    elif args.table == 3:
+        print(format_table(table3(result), "Table 3 (reproduced)"))
+    if args.figure in (9, 12):
+        series = figure9(result) if args.figure == 9 else figure12(result)
+        print(f"Figure {args.figure} (cactus series; k-th entry = time to solve k):")
+        for method, times in series.items():
+            rendered = ", ".join(f"{t:.2f}" for t in times)
+            print(f"  {method:28s} [{rendered}]")
+    if args.figure in (10, 11):
+        rates = figure10(result) if args.figure == 10 else figure11(result)
+        print(f"Figure {args.figure} (success rates):")
+        for method, rate in sorted(rates.items(), key=lambda item: -item[1]):
+            print(f"  {method:28s} {rate:5.1f}%")
+    if args.table is None and args.figure is None:
+        print(text_report(result))
+    if args.output:
+        output = Path(args.output)
+        output.mkdir(parents=True, exist_ok=True)
+        save_csv(result, output / "records.csv")
+        save_json(result, output / "records.json")
+        print(f"records written to {output}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+_COMMANDS = {
+    "corpus": _cmd_corpus,
+    "oracle": _cmd_oracle,
+    "lift": _cmd_lift,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

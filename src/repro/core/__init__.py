@@ -1,0 +1,82 @@
+"""STAGG core: templates, grammars, searches, validation and verification.
+
+This package implements the paper's primary contribution — LLM-guided
+probabilistic-grammar synthesis for tensor lifting — on top of the TACO,
+C-front-end, grammar and LLM substrates.
+"""
+
+from .config import StaggConfig
+from .dimension_list import (
+    DimensionPredictionResult,
+    num_unique_indices,
+    predict_dimension_list,
+    vote_dimension_list,
+)
+from .grammar_gen import (
+    bottomup_template_grammar,
+    full_bottomup_template_grammar,
+    full_template_grammar,
+    topdown_template_grammar,
+)
+from .io_examples import IOExample, IOExampleGenerator
+from .pcfg_learn import learn_pcfg, learn_weights, operator_weights
+from .penalties import (
+    BOTTOMUP_CRITERIA,
+    PenaltyConfig,
+    PenaltyContext,
+    PenaltyEvaluator,
+    TOPDOWN_CRITERIA,
+    TemplateView,
+    view_from_symbols,
+)
+from .result import SynthesisReport
+from .search import SearchLimits, SearchOutcome
+from .search_bottomup import BottomUpSearch
+from .search_topdown import TopDownSearch
+from .synthesizer import StaggSynthesizer
+from .task import InputSpec, LiftingTask
+from .templates import Template, deduplicate, templatize, templatize_all
+from .validator import TemplateValidator, ValidationResult, instantiate
+from .verifier import BoundedEquivalenceChecker, VerificationResult, VerifierConfig
+
+__all__ = [
+    "StaggConfig",
+    "StaggSynthesizer",
+    "SynthesisReport",
+    "LiftingTask",
+    "InputSpec",
+    "Template",
+    "templatize",
+    "templatize_all",
+    "deduplicate",
+    "DimensionPredictionResult",
+    "predict_dimension_list",
+    "vote_dimension_list",
+    "num_unique_indices",
+    "topdown_template_grammar",
+    "bottomup_template_grammar",
+    "full_template_grammar",
+    "full_bottomup_template_grammar",
+    "learn_pcfg",
+    "learn_weights",
+    "operator_weights",
+    "PenaltyConfig",
+    "PenaltyContext",
+    "PenaltyEvaluator",
+    "TemplateView",
+    "view_from_symbols",
+    "TOPDOWN_CRITERIA",
+    "BOTTOMUP_CRITERIA",
+    "IOExample",
+    "IOExampleGenerator",
+    "TemplateValidator",
+    "ValidationResult",
+    "instantiate",
+    "BoundedEquivalenceChecker",
+    "VerificationResult",
+    "VerifierConfig",
+    "SearchLimits",
+    "SearchOutcome",
+    "TopDownSearch",
+    "BottomUpSearch",
+]

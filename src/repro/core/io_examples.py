@@ -1,0 +1,191 @@
+"""Input/output example generation (Section 6).
+
+The template validator checks candidate instantiations against a set of
+input/output examples obtained by running the original C program on randomly
+generated inputs.  Examples are generated in exact (rational) arithmetic so
+that later comparison against the TACO evaluator is never confounded by
+floating-point rounding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..cfront import CInterpreter, FunctionDef
+from ..cfront.analysis import ArgumentKind, OutputKind, SignatureInfo, analyze_signature
+from .task import InputSpec, LiftingTask
+
+#: Default value range for randomly generated tensor elements.  Small odd
+#: numbers keep products distinguishable while avoiding overflow concerns.
+DEFAULT_VALUE_RANGE = (-5, 5)
+
+
+@dataclass
+class IOExample:
+    """One concrete run of the legacy kernel."""
+
+    #: Input values by argument name.  Arrays are NumPy object arrays of
+    #: Fractions shaped according to the task's input spec.
+    inputs: Dict[str, Union[int, Fraction, np.ndarray]]
+    #: The observed output (array or scalar).
+    output: Union[int, Fraction, np.ndarray]
+    #: Name of the output argument (None when the kernel returns its result).
+    output_name: Optional[str]
+    #: Concrete size-parameter values used for this example.
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+    def input_rank(self, name: str) -> int:
+        value = self.inputs[name]
+        if isinstance(value, np.ndarray):
+            return value.ndim
+        return 0
+
+    def output_shape(self) -> Tuple[int, ...]:
+        if isinstance(self.output, np.ndarray):
+            return self.output.shape
+        return ()
+
+
+class IOExampleGenerator:
+    """Generates I/O examples for a lifting task by running its C kernel."""
+
+    def __init__(
+        self,
+        task: LiftingTask,
+        function: Optional[FunctionDef] = None,
+        signature: Optional[SignatureInfo] = None,
+        seed: int = 0,
+        value_range: Tuple[int, int] = DEFAULT_VALUE_RANGE,
+    ) -> None:
+        self._task = task
+        self._function = function if function is not None else task.parse()
+        self._signature = signature if signature is not None else analyze_signature(self._function)
+        self._rng = random.Random(seed)
+        self._value_range = value_range
+        self._interpreter = CInterpreter(mode="exact")
+
+    @property
+    def signature(self) -> SignatureInfo:
+        return self._signature
+
+    @property
+    def function(self) -> FunctionDef:
+        return self._function
+
+    # ------------------------------------------------------------------ #
+    # Example generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        num_examples: int = 3,
+        sizes: Optional[Mapping[str, int]] = None,
+        avoid_zero: bool = False,
+    ) -> List[IOExample]:
+        """Generate *num_examples* random examples.
+
+        ``avoid_zero`` skips zero values, which is useful when the kernel (or
+        candidate expressions) may divide by an input element.
+        """
+        return [self.generate_one(sizes=sizes, avoid_zero=avoid_zero) for _ in range(num_examples)]
+
+    def generate_one(
+        self,
+        sizes: Optional[Mapping[str, int]] = None,
+        avoid_zero: bool = False,
+        values: Optional[Mapping[str, Union[int, Sequence[int]]]] = None,
+    ) -> IOExample:
+        """Generate a single example, optionally with fixed input values."""
+        spec = self._task.spec
+        avoid_zero = avoid_zero or spec.avoid_zero
+        concrete_sizes = dict(spec.sizes)
+        if sizes:
+            concrete_sizes.update({k: int(v) for k, v in sizes.items()})
+
+        call_args: Dict[str, Union[int, Fraction, List[Fraction], np.ndarray]] = {}
+        recorded_inputs: Dict[str, Union[int, Fraction, np.ndarray]] = {}
+
+        for argument in self._signature.arguments:
+            name = argument.name
+            if argument.kind is ArgumentKind.SIZE:
+                value = concrete_sizes.get(name, 2)
+                call_args[name] = int(value)
+                recorded_inputs[name] = int(value)
+            elif argument.kind is ArgumentKind.SCALAR and not argument.is_pointer:
+                value = self._scalar_value(name, avoid_zero, values)
+                call_args[name] = value
+                recorded_inputs[name] = value
+            else:
+                shape = spec.resolve_shape(name, concrete_sizes)
+                array = self._array_value(name, shape, avoid_zero, values)
+                call_args[name] = array.reshape(-1).tolist()
+                if argument.kind is ArgumentKind.OUTPUT:
+                    # The output buffer's initial contents are irrelevant to the
+                    # lifted expression; record inputs only for non-outputs.
+                    pass
+                else:
+                    recorded_inputs[name] = array
+
+        result = self._interpreter.run(self._function, call_args)
+
+        output_name = self._signature.output_argument
+        if self._signature.output_kind is OutputKind.RETURN or output_name is None:
+            output: Union[int, Fraction, np.ndarray] = result.return_value  # type: ignore[assignment]
+            output_name = None
+        else:
+            shape = spec.resolve_shape(output_name, concrete_sizes)
+            flat = np.array(result.array(output_name), dtype=object)
+            output = flat.reshape(shape) if shape else flat.reshape(()).item()
+        return IOExample(
+            inputs=recorded_inputs,
+            output=output,
+            output_name=output_name,
+            sizes=concrete_sizes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Random values
+    # ------------------------------------------------------------------ #
+    def _scalar_value(
+        self,
+        name: str,
+        avoid_zero: bool,
+        fixed: Optional[Mapping[str, Union[int, Sequence[int]]]],
+    ) -> Fraction:
+        if fixed and name in fixed:
+            return Fraction(int(fixed[name]))  # type: ignore[arg-type]
+        low, high = self._task.spec.scalars.get(name, self._value_range)
+        value = self._random_value(low, high, avoid_zero)
+        return Fraction(value)
+
+    def _array_value(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        avoid_zero: bool,
+        fixed: Optional[Mapping[str, Union[int, Sequence[int]]]],
+    ) -> np.ndarray:
+        count = int(np.prod(shape)) if shape else 1
+        if fixed and name in fixed:
+            raw = fixed[name]
+            flat = [Fraction(int(v)) for v in np.asarray(raw).reshape(-1).tolist()]
+            if len(flat) != count:
+                raise ValueError(
+                    f"fixed value for {name!r} has {len(flat)} elements, expected {count}"
+                )
+        else:
+            low, high = self._value_range
+            flat = [Fraction(self._random_value(low, high, avoid_zero)) for _ in range(count)]
+        array = np.empty(count, dtype=object)
+        array[:] = flat
+        return array.reshape(shape) if shape else array.reshape(())
+
+    def _random_value(self, low: int, high: int, avoid_zero: bool) -> int:
+        value = self._rng.randint(low, high)
+        while avoid_zero and value == 0:
+            value = self._rng.randint(low, high)
+        return value

@@ -1,0 +1,55 @@
+"""Result types reported by the synthesizer and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..taco import TacoProgram
+
+
+@dataclass
+class SynthesisReport:
+    """Everything the evaluation harness needs to know about one lifting run."""
+
+    #: Benchmark / task name.
+    task_name: str
+    #: Label of the method that produced this report (e.g. ``"STAGG_TD"``).
+    method: str
+    #: Did the method produce a verified lifted program?
+    success: bool
+    #: The lifted program with concrete argument names, when successful.
+    lifted_program: Optional[TacoProgram] = None
+    #: The winning template (symbolic tensors), when successful.
+    template: Optional[TacoProgram] = None
+    #: Total wall-clock time of the run (oracle + grammar + search + verify).
+    elapsed_seconds: float = 0.0
+    #: Number of complete templates sent to validation ("attempts").
+    attempts: int = 0
+    #: Number of search-queue expansions.
+    nodes_expanded: int = 0
+    #: Number of syntactically valid / rejected LLM candidates.
+    oracle_valid_candidates: int = 0
+    oracle_rejected_candidates: int = 0
+    #: Predicted dimension list for the task.
+    dimension_list: Tuple[int, ...] = ()
+    #: True when the run hit its time budget.
+    timed_out: bool = False
+    #: Non-empty when the run aborted with an internal error.
+    error: str = ""
+    #: Free-form extra data (per-method diagnostics).
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def lifted_source(self) -> str:
+        """The lifted program as TACO source text (empty when unsolved)."""
+        return str(self.lifted_program) if self.lifted_program is not None else ""
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        status = "ok" if self.success else ("timeout" if self.timed_out else "fail")
+        lifted = f" -> {self.lifted_source}" if self.success else ""
+        return (
+            f"[{self.method}] {self.task_name}: {status} "
+            f"({self.elapsed_seconds:.2f}s, {self.attempts} attempts){lifted}"
+        )

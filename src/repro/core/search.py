@@ -1,0 +1,87 @@
+"""Shared machinery for the two weighted A* template searches."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..taco import TacoProgram
+from .validator import ValidationResult
+from .verifier import VerificationResult
+
+#: The signature of the candidate checker supplied by the synthesizer: it
+#: validates a complete template against the I/O examples and, if validation
+#: succeeds, verifies the instantiation against the C kernel.
+CandidateChecker = Callable[
+    [TacoProgram], Tuple[bool, Optional[ValidationResult], Optional[VerificationResult]]
+]
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Resource limits applied to a single search."""
+
+    #: Maximum number of queue expansions before giving up.
+    max_expansions: int = 200_000
+    #: Maximum number of complete templates sent to validation.
+    max_candidates: int = 5_000
+    #: Wall-clock budget in seconds (None = unlimited).
+    timeout_seconds: Optional[float] = None
+    #: Maximum expression depth (Section 5.1 uses 6).
+    max_depth: int = 6
+
+
+@dataclass
+class SearchOutcome:
+    """The result of one search run."""
+
+    success: bool
+    template: Optional[TacoProgram] = None
+    concrete_program: Optional[TacoProgram] = None
+    validation: Optional[ValidationResult] = None
+    verification: Optional[VerificationResult] = None
+    #: Number of complete templates handed to the validator ("attempts").
+    candidates_tried: int = 0
+    #: Number of nodes expanded from the priority queue.
+    nodes_expanded: int = 0
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    exhausted: bool = False
+
+
+class PriorityQueue:
+    """A min-heap with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, priority: float, item) -> None:
+        heapq.heappush(self._heap, (priority, next(self._counter), item))
+
+    def pop(self) -> Tuple[float, object]:
+        priority, _count, item = heapq.heappop(self._heap)
+        return priority, item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Deadline:
+    """A small helper tracking the wall-clock budget of a search."""
+
+    def __init__(self, timeout_seconds: Optional[float]) -> None:
+        self._start = time.monotonic()
+        self._timeout = timeout_seconds
+
+    def expired(self) -> bool:
+        return self._timeout is not None and self.elapsed() >= self._timeout
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start

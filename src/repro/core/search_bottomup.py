@@ -1,0 +1,146 @@
+"""Bottom-up weighted A* template enumeration (Section 5.2, Algorithm 2).
+
+The bottom-up grammar generates expressions as left-to-right chains
+``TENSOR2 (OP TENSOR3 (OP TENSOR4 ...))`` terminated by ``TAIL`` non-terminals
+with epsilon productions.  Consequently every dequeued sentential form whose
+only remaining non-terminal is a trailing ``TAIL`` can be *truncated* into a
+complete template and checked immediately; if the check fails the original
+form (tail re-attached) is expanded further.
+
+Following Algorithm 2, truncation-and-validation is attempted once the
+number of tensors in the expression reaches the length predicted by the
+dimension list; fully epsilon-closed (complete) forms are always checked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..grammars import DerivationTree, ProbabilisticGrammar, Symbol, is_nonterminal
+from ..taco import TacoProgram
+from ..taco.errors import TacoError
+from ..taco.parser import parse_program
+from .costs import BottomUpCostModel, count_rhs_tensors
+from .dimension_list import DimensionList
+from .penalties import PenaltyEvaluator
+from .search import CandidateChecker, Deadline, PriorityQueue, SearchLimits, SearchOutcome
+
+
+class BottomUpSearch:
+    """Algorithm 2: bottom-up (chain) enumeration of the template grammar."""
+
+    def __init__(
+        self,
+        grammar: ProbabilisticGrammar,
+        dimension_list: DimensionList,
+        penalties: PenaltyEvaluator,
+        checker: CandidateChecker,
+        limits: SearchLimits = SearchLimits(),
+    ) -> None:
+        self._grammar = grammar
+        self._dimension_list = dimension_list
+        self._costs = BottomUpCostModel(grammar, dimension_list)
+        self._penalties = penalties
+        self._checker = checker
+        self._limits = limits
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SearchOutcome:
+        outcome = SearchOutcome(success=False)
+        deadline = Deadline(self._limits.timeout_seconds)
+        queue = PriorityQueue()
+        checked: set[str] = set()
+        root = DerivationTree(self._grammar)
+        queue.push(0.0, (root, 0.0))
+        target_tensors = len(self._dimension_list)
+
+        while queue:
+            if deadline.expired():
+                outcome.timed_out = True
+                break
+            if outcome.nodes_expanded >= self._limits.max_expansions:
+                break
+            _priority, (tree, accumulated_cost) = queue.pop()
+            outcome.nodes_expanded += 1
+
+            symbols = tree.yield_symbols()
+            tensors_in_form = count_rhs_tensors(symbols) + 1  # + LHS tensor
+
+            should_check = tree.is_complete() or (
+                tensors_in_form >= target_tensors and self._truncatable(symbols)
+            )
+            if should_check:
+                tokens = self._truncate(symbols)
+                if tokens is not None and self._try_candidate(tokens, outcome, checked):
+                    outcome.elapsed_seconds = deadline.elapsed()
+                    return outcome
+                if outcome.candidates_tried >= self._limits.max_candidates:
+                    break
+                if tree.is_complete():
+                    continue
+
+            for production in tree.possible_expansions():
+                expanded = tree.expand_leftmost(production)
+                cost = accumulated_cost + self._costs.production_cost(production)
+                expanded_symbols = expanded.yield_symbols()
+                penalty = self._penalties.evaluate(expanded_symbols)
+                if math.isinf(penalty):
+                    continue
+                placed = count_rhs_tensors(expanded_symbols)
+                heuristic = self._costs.completion_cost(placed)
+                queue.push(cost + heuristic + penalty, (expanded, cost))
+
+        outcome.exhausted = not queue and not outcome.timed_out
+        outcome.elapsed_seconds = deadline.elapsed()
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Truncation helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _truncatable(symbols: Tuple[Symbol, ...]) -> bool:
+        """True when the only non-terminals left are trailing TAIL symbols."""
+        for symbol in symbols:
+            if is_nonterminal(symbol) and not str(symbol).startswith("TAIL"):
+                return False
+        return True
+
+    @staticmethod
+    def _truncate(symbols: Tuple[Symbol, ...]) -> Optional[List[str]]:
+        """Drop trailing TAIL non-terminals, yielding the complete token list."""
+        tokens: List[str] = []
+        for symbol in symbols:
+            if is_nonterminal(symbol):
+                if str(symbol).startswith("TAIL"):
+                    continue
+                return None
+            tokens.append(str(symbol))
+        return tokens
+
+    # ------------------------------------------------------------------ #
+    # Candidate handling
+    # ------------------------------------------------------------------ #
+    def _try_candidate(
+        self, tokens: List[str], outcome: SearchOutcome, checked: set
+    ) -> bool:
+        try:
+            template = parse_program(" ".join(tokens))
+        except TacoError:
+            return False
+        key = str(template)
+        if key in checked:
+            return False
+        checked.add(key)
+        outcome.candidates_tried += 1
+        solved, validation, verification = self._checker(template)
+        if solved:
+            outcome.success = True
+            outcome.template = template
+            outcome.validation = validation
+            outcome.verification = verification
+            if validation is not None:
+                outcome.concrete_program = validation.concrete_program
+        return solved

@@ -1,0 +1,115 @@
+"""Top-down weighted A* template enumeration (Section 5.1, Algorithm 1).
+
+The search maintains a priority queue of partial derivation trees over the
+refined template pCFG.  At each step it pops the tree with minimal score
+``f(x) = c(x) + g(x) + X(x)``:
+
+* complete trees are parsed into TACO templates and handed to the candidate
+  checker (validation against I/O examples, then bounded verification);
+* partial trees are expanded by applying every production of the grammar to
+  their leftmost unexpanded non-terminal.
+
+Trees deeper than the configured depth limit are discarded, and trees whose
+penalty is infinite are never enqueued.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..grammars import DerivationTree, ProbabilisticGrammar
+from ..taco import TacoProgram
+from ..taco.errors import TacoError
+from ..taco.printer import from_tokens
+from .costs import TopDownCostModel
+from .penalties import PenaltyEvaluator
+from .search import CandidateChecker, Deadline, PriorityQueue, SearchLimits, SearchOutcome
+
+
+class TopDownSearch:
+    """Algorithm 1: top-down enumeration of the template grammar."""
+
+    def __init__(
+        self,
+        grammar: ProbabilisticGrammar,
+        penalties: PenaltyEvaluator,
+        checker: CandidateChecker,
+        limits: SearchLimits = SearchLimits(),
+    ) -> None:
+        self._grammar = grammar
+        self._costs = TopDownCostModel(grammar)
+        self._penalties = penalties
+        self._checker = checker
+        self._limits = limits
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SearchOutcome:
+        outcome = SearchOutcome(success=False)
+        deadline = Deadline(self._limits.timeout_seconds)
+        queue = PriorityQueue()
+        checked: set[str] = set()
+
+        root = DerivationTree(self._grammar)
+        queue.push(0.0, (root, 0.0))
+
+        while queue:
+            if deadline.expired():
+                outcome.timed_out = True
+                break
+            if outcome.nodes_expanded >= self._limits.max_expansions:
+                break
+            _priority, (tree, accumulated_cost) = queue.pop()
+            outcome.nodes_expanded += 1
+
+            if tree.expression_depth() > self._limits.max_depth:
+                continue
+
+            if tree.is_complete():
+                if self._try_candidate(tree, outcome, checked):
+                    outcome.elapsed_seconds = deadline.elapsed()
+                    return outcome
+                if outcome.candidates_tried >= self._limits.max_candidates:
+                    break
+                continue
+
+            for production in tree.possible_expansions():
+                expanded = tree.expand_leftmost(production)
+                cost = accumulated_cost + self._costs.production_cost(production)
+                symbols = expanded.yield_symbols()
+                penalty = self._penalties.evaluate(symbols)
+                if math.isinf(penalty):
+                    continue
+                heuristic = self._costs.completion_cost(symbols)
+                queue.push(cost + heuristic + penalty, (expanded, cost))
+
+        outcome.exhausted = not queue and not outcome.timed_out
+        outcome.elapsed_seconds = deadline.elapsed()
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Candidate handling
+    # ------------------------------------------------------------------ #
+    def _try_candidate(
+        self, tree: DerivationTree, outcome: SearchOutcome, checked: set
+    ) -> bool:
+        try:
+            template = from_tokens(tree.yield_tokens())
+        except TacoError:
+            return False
+        key = str(template)
+        if key in checked:
+            return False
+        checked.add(key)
+        outcome.candidates_tried += 1
+        solved, validation, verification = self._checker(template)
+        if solved:
+            outcome.success = True
+            outcome.template = template
+            outcome.validation = validation
+            outcome.verification = verification
+            if validation is not None:
+                outcome.concrete_program = validation.concrete_program
+        return solved

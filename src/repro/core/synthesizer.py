@@ -1,0 +1,215 @@
+"""The STAGG synthesizer: orchestration of the full pipeline (Figure 1).
+
+Given a lifting task, the synthesizer
+
+1. queries the LLM oracle for candidate TACO expressions (Prompt 1),
+2. parses and templatizes them (Section 4.2),
+3. predicts the dimension list — RHS ranks by vote over the candidates, LHS
+   rank by static analysis of the C program (Section 4.2.3),
+4. generates the refined template grammar (Section 4.2.4 / 5.2) and learns
+   its production probabilities (Section 4.3),
+5. runs the selected weighted A* search (Section 5), validating complete
+   templates against I/O examples (Section 6) and verifying winning
+   instantiations against the original C code with the bounded equivalence
+   checker (Section 7).
+
+Every stage is controlled by :class:`repro.core.config.StaggConfig`, which is
+how the evaluation's ablations are expressed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+from ..cfront.analysis import analyze_signature, harvest_constants, predict_output_rank
+from ..grammars import ProbabilisticGrammar
+from ..llm import LLMOracle, LiftingQuery, OracleResponse
+from ..taco import TacoProgram
+from .config import StaggConfig
+from .dimension_list import num_unique_indices, predict_dimension_list
+from .grammar_gen import (
+    bottomup_template_grammar,
+    full_bottomup_template_grammar,
+    full_template_grammar,
+    topdown_template_grammar,
+)
+from .io_examples import IOExampleGenerator
+from .pcfg_learn import learn_pcfg, operator_weights
+from .penalties import PenaltyContext, PenaltyEvaluator
+from .result import SynthesisReport
+from .search import SearchLimits, SearchOutcome
+from .search_bottomup import BottomUpSearch
+from .search_topdown import TopDownSearch
+from .task import LiftingTask
+from .templates import Template, templatize_all
+from .validator import TemplateValidator, ValidationResult
+from .verifier import BoundedEquivalenceChecker, VerificationResult
+
+
+class StaggSynthesizer:
+    """Lifts C kernels to TACO using LLM-guided grammar synthesis."""
+
+    def __init__(self, oracle: LLMOracle, config: StaggConfig = StaggConfig()) -> None:
+        self._oracle = oracle
+        self._config = config
+
+    @property
+    def config(self) -> StaggConfig:
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def lift(self, task: LiftingTask) -> SynthesisReport:
+        """Lift *task* and report the outcome (never raises for task errors)."""
+        started = time.monotonic()
+        report = SynthesisReport(
+            task_name=task.name, method=self._config.label, success=False
+        )
+        try:
+            outcome = self._lift_inner(task, report)
+        except Exception as error:  # noqa: BLE001 - report, don't crash the harness
+            report.error = f"{type(error).__name__}: {error}"
+            report.elapsed_seconds = time.monotonic() - started
+            return report
+        report.elapsed_seconds = time.monotonic() - started
+        if outcome is not None:
+            report.success = outcome.success
+            report.template = outcome.template
+            report.lifted_program = outcome.concrete_program
+            report.attempts = outcome.candidates_tried
+            report.nodes_expanded = outcome.nodes_expanded
+            report.timed_out = outcome.timed_out
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+    def _lift_inner(
+        self, task: LiftingTask, report: SynthesisReport
+    ) -> Optional[SearchOutcome]:
+        config = self._config
+        function = task.parse()
+        signature = analyze_signature(function)
+        constants = harvest_constants(function)
+
+        # Stage 1: LLM candidates.
+        response = self._query_oracle(task)
+        report.oracle_valid_candidates = response.num_valid
+        report.oracle_rejected_candidates = response.num_rejected
+
+        # Stage 2: templatization.  Candidates are *not* de-duplicated here:
+        # the dimension-list vote and the pCFG weights are frequency-based,
+        # so repeated (structurally identical) candidates should count once
+        # per occurrence, exactly as in Section 4.3.
+        templates = templatize_all(response.candidates)
+
+        # Stage 3: dimension-list prediction.
+        prediction = predict_dimension_list(templates, function)
+        dimension_list = prediction.dimension_list
+        report.dimension_list = dimension_list
+        report.details["voted_dimension_list"] = prediction.voted_list
+        report.details["static_lhs_rank"] = prediction.static_lhs_rank
+        indices = num_unique_indices(templates)
+
+        # Stage 4: grammar generation + probability learning.
+        grammar, style = self._build_grammar(dimension_list, indices, templates)
+        pcfg = learn_pcfg(
+            grammar,
+            templates,
+            style=style,
+            probability_mode=config.probability_mode,
+        )
+        report.details["grammar_size"] = len(grammar)
+
+        # Stage 5: search with validation + verification.
+        examples = IOExampleGenerator(
+            task, function, signature, seed=config.seed
+        ).generate(config.num_io_examples)
+        validator = TemplateValidator(examples, constants)
+        verifier = BoundedEquivalenceChecker(
+            task, function, signature, config=config.verifier
+        )
+
+        def check(
+            template: TacoProgram,
+        ) -> Tuple[bool, Optional[ValidationResult], Optional[VerificationResult]]:
+            validation = validator.validate(template)
+            if not validation.success or validation.concrete_program is None:
+                return False, validation, None
+            verification = verifier.verify(validation.concrete_program)
+            return bool(verification.equivalent), validation, verification
+
+        weights = operator_weights(grammar, templates, style=style)
+        max_weight = max(weights.values(), default=0.0)
+        # Operators "defined in the grammar" (criteria a5/b2): those whose
+        # learned probability is not incidental noise.  An operator counts as
+        # defined when the candidates used it at least twice and strictly
+        # more than half as often as the most-used operator (cf. Figure 3,
+        # where only the operators with non-zero probability matter).
+        dominant_operators = frozenset(
+            op
+            for op, weight in weights.items()
+            if weight >= 2.0 and weight > 0.5 * max_weight
+        )
+        context = PenaltyContext(
+            dimension_list=dimension_list,
+            grammar_has_constant=any("Const" in str(p.rhs) for p in grammar.productions),
+            observed_operators=dominant_operators,
+        )
+        if config.search == "topdown":
+            evaluator = PenaltyEvaluator.topdown(context, config.penalties)
+            search = TopDownSearch(pcfg, evaluator, check, config.limits)
+        else:
+            evaluator = PenaltyEvaluator.bottomup(context, config.penalties)
+            search = BottomUpSearch(
+                pcfg, dimension_list, evaluator, check, config.limits
+            )
+        return search.run()
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _query_oracle(self, task: LiftingTask) -> OracleResponse:
+        query = LiftingQuery(
+            c_source=task.c_source,
+            name=task.name,
+            reference_solution=task.reference_solution,
+        )
+        return self._oracle.propose(query)
+
+    def _build_grammar(
+        self,
+        dimension_list: Tuple[int, ...],
+        indices: int,
+        templates: Sequence[Template],
+    ):
+        config = self._config
+        style = "topdown" if config.search == "topdown" else "bottomup"
+        if config.grammar_mode == "refined":
+            if style == "topdown":
+                grammar = topdown_template_grammar(dimension_list, indices, templates)
+            else:
+                grammar = bottomup_template_grammar(dimension_list, indices, templates)
+            return grammar, style
+        # Unrefined ("full") grammars for the FullGrammar / LLMGrammar ablations.
+        lhs_rank = dimension_list[0] if dimension_list else 0
+        max_rank = max(
+            [config.full_grammar_max_rank] + [rank for rank in dimension_list]
+        )
+        if style == "topdown":
+            grammar = full_template_grammar(
+                lhs_rank,
+                max_rhs_tensors=config.full_grammar_max_tensors,
+                max_rank=max_rank,
+                num_indices=max(config.full_grammar_num_indices, indices),
+            )
+        else:
+            grammar = full_bottomup_template_grammar(
+                lhs_rank,
+                max_rhs_tensors=config.full_grammar_max_tensors,
+                max_rank=max_rank,
+                num_indices=max(config.full_grammar_num_indices, indices),
+            )
+        return grammar, style

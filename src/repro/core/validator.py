@@ -1,0 +1,234 @@
+"""Template validation against input/output examples (Section 6).
+
+A complete template produced by the search contains symbolic tensors
+(``a``, ``b``, ``c``, ...) and symbolic constants (``Const``).  The validator
+searches for a *substitution* mapping those symbols onto the concrete
+arguments of the legacy function (and onto constants harvested from its
+source) such that the instantiated TACO program reproduces the recorded
+outputs on every input/output example.
+
+Substitutions that bind a tensor symbol to an argument of a different rank
+are discarded up front, mirroring Figure 8 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..taco import (
+    BinaryOp,
+    Constant,
+    Expression,
+    SymbolicConstant,
+    TacoProgram,
+    TensorAccess,
+    UnaryOp,
+)
+from ..taco.errors import TacoError
+from ..taco.evaluator import TacoEvaluator
+from .io_examples import IOExample
+
+#: Upper bound on substitutions tried per template; a safety valve against
+#: pathological argument counts (never reached by the corpus).
+MAX_SUBSTITUTIONS = 4096
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one template."""
+
+    success: bool
+    substitution: Dict[str, str] = field(default_factory=dict)
+    constant_values: Dict[str, Union[int, float, Fraction]] = field(default_factory=dict)
+    concrete_program: Optional[TacoProgram] = None
+    substitutions_tried: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.success
+
+
+class TemplateValidator:
+    """Validates templates against I/O examples for one lifting task."""
+
+    def __init__(
+        self,
+        examples: Sequence[IOExample],
+        constants: Sequence[Union[int, float, Fraction]] = (),
+        max_substitutions: int = MAX_SUBSTITUTIONS,
+    ) -> None:
+        if not examples:
+            raise ValueError("the validator needs at least one I/O example")
+        self._examples = list(examples)
+        self._constants = list(constants) if constants else []
+        self._max_substitutions = max_substitutions
+        self._evaluator = TacoEvaluator(mode="exact")
+        self._argument_ranks = self._compute_argument_ranks()
+
+    # ------------------------------------------------------------------ #
+    # Candidate argument pools
+    # ------------------------------------------------------------------ #
+    def _compute_argument_ranks(self) -> Dict[str, int]:
+        ranks: Dict[str, int] = {}
+        example = self._examples[0]
+        for name in example.inputs:
+            ranks[name] = example.input_rank(name)
+        return ranks
+
+    def _candidates_for_rank(self, rank: int) -> List[str]:
+        return [name for name, r in self._argument_ranks.items() if r == rank]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self, template: TacoProgram) -> ValidationResult:
+        """Search for a substitution that satisfies every I/O example."""
+        rhs_symbols = self._rhs_tensor_symbols(template)
+        constant_count = self._count_symbolic_constants(template)
+
+        pools: List[List[str]] = []
+        for symbol, rank in rhs_symbols:
+            candidates = self._candidates_for_rank(rank)
+            if not candidates:
+                return ValidationResult(success=False, substitutions_tried=0)
+            pools.append(candidates)
+
+        constant_pool: List[Union[int, float, Fraction]] = list(self._constants)
+        if constant_count and not constant_pool:
+            return ValidationResult(success=False, substitutions_tried=0)
+
+        tried = 0
+        for assignment in itertools.product(*pools) if pools else [()]:
+            substitution = {
+                symbol: argument
+                for (symbol, _rank), argument in zip(rhs_symbols, assignment)
+            }
+            for constant_choice in (
+                itertools.product(constant_pool, repeat=constant_count)
+                if constant_count
+                else [()]
+            ):
+                tried += 1
+                if tried > self._max_substitutions:
+                    return ValidationResult(success=False, substitutions_tried=tried)
+                if self._satisfies_examples(template, substitution, constant_choice):
+                    concrete = instantiate(template, substitution, constant_choice)
+                    constant_values = {
+                        f"Const{position or ''}": value
+                        for position, value in enumerate(constant_choice)
+                    }
+                    return ValidationResult(
+                        success=True,
+                        substitution=dict(substitution),
+                        constant_values=constant_values,
+                        concrete_program=concrete,
+                        substitutions_tried=tried,
+                    )
+        return ValidationResult(success=False, substitutions_tried=tried)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _rhs_tensor_symbols(template: TacoProgram) -> List[Tuple[str, int]]:
+        """Unique RHS tensor symbols with their ranks, in appearance order."""
+        seen: Dict[str, int] = {}
+        for access in template.rhs.tensors():
+            seen.setdefault(access.name, access.rank)
+        return list(seen.items())
+
+    @staticmethod
+    def _count_symbolic_constants(template: TacoProgram) -> int:
+        count = 0
+        stack: List[Expression] = [template.rhs]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (SymbolicConstant,)):
+                count += 1
+            elif isinstance(node, BinaryOp):
+                stack.extend((node.left, node.right))
+            elif isinstance(node, UnaryOp):
+                stack.append(node.operand)
+        return count
+
+    def _satisfies_examples(
+        self,
+        template: TacoProgram,
+        substitution: Mapping[str, str],
+        constant_choice: Sequence[Union[int, float, Fraction]],
+    ) -> bool:
+        concrete = instantiate(template, substitution, constant_choice)
+        for example in self._examples:
+            try:
+                bindings = {
+                    name: example.inputs[name]
+                    for name in {access.name for access in concrete.rhs.tensors()}
+                }
+                result = self._evaluator.evaluate(
+                    concrete,
+                    bindings,
+                    output_shape=example.output_shape(),
+                )
+            except (TacoError, KeyError, ZeroDivisionError):
+                return False
+            if not _outputs_equal(result, example.output):
+                return False
+        return True
+
+
+def instantiate(
+    template: TacoProgram,
+    substitution: Mapping[str, str],
+    constant_values: Sequence[Union[int, float, Fraction]] = (),
+) -> TacoProgram:
+    """Instantiate a template: rename tensors and fill in constants.
+
+    The left-hand-side symbol keeps its name unless the substitution maps it
+    explicitly (the validator leaves it to the caller, since the output
+    argument is determined by the signature analysis rather than searched).
+    """
+    constants = list(constant_values)
+    position = {"next": 0}
+
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, TensorAccess):
+            return TensorAccess(substitution.get(expr.name, expr.name), expr.indices)
+        if isinstance(expr, SymbolicConstant):
+            if position["next"] < len(constants):
+                value = constants[position["next"]]
+                position["next"] += 1
+                return Constant(value if not isinstance(value, Fraction) else value)
+            return expr
+        if isinstance(expr, Constant):
+            return expr
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(rewrite(expr.operand))
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    lhs = TensorAccess(
+        substitution.get(template.lhs.name, template.lhs.name), template.lhs.indices
+    )
+    return TacoProgram(lhs, rewrite(template.rhs))
+
+
+def _outputs_equal(actual, expected) -> bool:
+    """Exact comparison between evaluator output and recorded C output."""
+    if isinstance(expected, np.ndarray) or isinstance(actual, np.ndarray):
+        actual_arr = np.asarray(actual, dtype=object)
+        expected_arr = np.asarray(expected, dtype=object)
+        if actual_arr.shape != expected_arr.shape:
+            return False
+        for a, e in zip(actual_arr.reshape(-1), expected_arr.reshape(-1)):
+            if Fraction(a) != Fraction(e):
+                return False
+        return True
+    try:
+        return Fraction(actual) == Fraction(expected)
+    except (TypeError, ValueError):
+        return actual == expected

@@ -1,0 +1,88 @@
+"""Regeneration of the paper's figures (Figures 9-12) as data series.
+
+The harness has no plotting dependency; each function returns the exact data
+a plotting script would need (and the bench harness prints), which is what
+"reproducing the figure" means here:
+
+* Figure 9 / Figure 12 — cactus plots: for each method, the sorted list of
+  per-benchmark solve times, so the k-th entry is the time budget needed to
+  solve k benchmarks.
+* Figure 10 / Figure 11 — success-rate bar charts: percentage of benchmarks
+  solved per method / per grammar configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import method_metrics
+from .runner import EvaluationResult
+
+
+def cactus_series(
+    result: EvaluationResult, methods: Optional[Sequence[str]] = None
+) -> Dict[str, List[float]]:
+    """Per-method sorted solve times (the series plotted in Figures 9 and 12).
+
+    The x-axis of the cactus plot is the index into the returned list plus
+    one (number of benchmarks solved); the y-axis is the value (time in
+    seconds).
+    """
+    series: Dict[str, List[float]] = {}
+    for method in methods or result.methods():
+        times = sorted(r.time for r in result.for_method(method) if r.solved)
+        series[method] = times
+    return series
+
+
+def cumulative_cactus(series: Dict[str, List[float]]) -> Dict[str, List[float]]:
+    """Cumulative-time variant of the cactus plot (running sum of solve times)."""
+    cumulative: Dict[str, List[float]] = {}
+    for method, times in series.items():
+        running = 0.0
+        points: List[float] = []
+        for time in times:
+            running += time
+            points.append(running)
+        cumulative[method] = points
+    return cumulative
+
+
+def success_rates(
+    result: EvaluationResult, methods: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Per-method success percentage (the bars of Figures 10 and 11)."""
+    rates: Dict[str, float] = {}
+    for method in methods or result.methods():
+        rates[method] = method_metrics(result, method).solve_percent
+    return rates
+
+
+def solved_counts(
+    result: EvaluationResult, methods: Optional[Sequence[str]] = None
+) -> Dict[str, int]:
+    """Per-method absolute solved counts."""
+    return {
+        method: method_metrics(result, method).solved
+        for method in (methods or result.methods())
+    }
+
+
+def figure9(result: EvaluationResult) -> Dict[str, List[float]]:
+    """Figure 9: cactus plot over the 67 real-world benchmarks."""
+    return cactus_series(result.filter(real_world_only=True))
+
+
+def figure10(result: EvaluationResult) -> Dict[str, float]:
+    """Figure 10: success rates over the 67 real-world benchmarks."""
+    return success_rates(result.filter(real_world_only=True))
+
+
+def figure11(result: EvaluationResult) -> Dict[str, float]:
+    """Figure 11: success rates of the grammar configurations (77 benchmarks)."""
+    return success_rates(result)
+
+
+def figure12(result: EvaluationResult) -> Dict[str, List[float]]:
+    """Figure 12: cactus plot of the grammar configurations (77 benchmarks)."""
+    return cactus_series(result)

@@ -1,0 +1,116 @@
+"""Aggregate metrics over evaluation records (the numbers in Tables 1-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .runner import EvaluationResult, RunRecord
+
+
+@dataclass(frozen=True)
+class MethodMetrics:
+    """Per-method aggregates over one benchmark subset."""
+
+    method: str
+    total_benchmarks: int
+    solved: int
+    mean_time_solved: float
+    mean_attempts_solved: float
+    mean_time_all: float
+    timeouts: int
+    errors: int
+
+    @property
+    def solve_rate(self) -> float:
+        if self.total_benchmarks == 0:
+            return 0.0
+        return self.solved / self.total_benchmarks
+
+    @property
+    def solve_percent(self) -> float:
+        return 100.0 * self.solve_rate
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def method_metrics(
+    result: EvaluationResult,
+    method: str,
+    benchmarks: Optional[Iterable[str]] = None,
+) -> MethodMetrics:
+    """Compute the aggregates reported in the paper's tables for one method."""
+    records = result.for_method(method)
+    if benchmarks is not None:
+        wanted = set(benchmarks)
+        records = [r for r in records if r.benchmark in wanted]
+    solved = [r for r in records if r.solved]
+    return MethodMetrics(
+        method=method,
+        total_benchmarks=len(records),
+        solved=len(solved),
+        mean_time_solved=_mean([r.time for r in solved]),
+        mean_attempts_solved=_mean([float(r.attempts) for r in solved]),
+        mean_time_all=_mean([r.time for r in records]),
+        timeouts=sum(1 for r in records if r.report.timed_out and not r.solved),
+        errors=sum(1 for r in records if r.report.error),
+    )
+
+
+def all_method_metrics(
+    result: EvaluationResult, benchmarks: Optional[Iterable[str]] = None
+) -> List[MethodMetrics]:
+    return [method_metrics(result, method, benchmarks) for method in result.methods()]
+
+
+def common_subset_metrics(
+    result: EvaluationResult, method: str, reference_method: str
+) -> MethodMetrics:
+    """Metrics of *method* restricted to the benchmarks *reference_method* solves.
+
+    This is how Table 1 reports "Solved by C2TACO" / "Solved by Tenspiler"
+    columns: average times are computed over the reference method's solved
+    set so direct speed comparisons are meaningful.
+    """
+    reference_solved = set(result.solved_benchmarks(reference_method))
+    return method_metrics(result, method, benchmarks=reference_solved)
+
+
+def coverage_comparison(result: EvaluationResult, method: str, other: str) -> Dict[str, int]:
+    """How the solved sets of two methods relate (used in the RQ1 narrative)."""
+    solved_a = set(result.solved_benchmarks(method))
+    solved_b = set(result.solved_benchmarks(other))
+    return {
+        "both": len(solved_a & solved_b),
+        "only_" + method: len(solved_a - solved_b),
+        "only_" + other: len(solved_b - solved_a),
+        "neither": len(set(result.benchmarks()) - solved_a - solved_b),
+    }
+
+
+def headline_metrics(result: EvaluationResult) -> Dict[str, float]:
+    """The headline numbers quoted in the abstract / conclusion.
+
+    * overall solve rate of STAGG_TD on the full corpus (paper: 99%),
+    * STAGG_TD's average time on the benchmarks C2TACO solves (paper: 3.19 s
+      vs 21.15 s).
+    """
+    stagg = method_metrics(result, "STAGG_TD")
+    out: Dict[str, float] = {
+        "stagg_td_solve_percent": stagg.solve_percent,
+        "stagg_td_mean_time_solved": stagg.mean_time_solved,
+    }
+    if "C2TACO" in result.methods():
+        c2taco_solved = set(result.solved_benchmarks("C2TACO"))
+        on_common = method_metrics(result, "STAGG_TD", benchmarks=c2taco_solved)
+        c2taco = method_metrics(result, "C2TACO", benchmarks=c2taco_solved)
+        out["stagg_td_time_on_c2taco_solved"] = on_common.mean_time_solved
+        out["c2taco_time_on_c2taco_solved"] = c2taco.mean_time_solved
+        out["speedup_vs_c2taco"] = (
+            c2taco.mean_time_solved / on_common.mean_time_solved
+            if on_common.mean_time_solved > 0
+            else float("inf")
+        )
+    return out

@@ -1,0 +1,77 @@
+"""Rendering and persistence of evaluation results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .figures import cactus_series, success_rates
+from .metrics import all_method_metrics, headline_metrics
+from .runner import EvaluationResult
+from .tables import format_table, table1, table2, table3
+
+
+def records_as_rows(result: EvaluationResult) -> List[Dict[str, object]]:
+    """Flatten run records into CSV/JSON-friendly rows."""
+    rows: List[Dict[str, object]] = []
+    for record in result.records:
+        rows.append(
+            {
+                "method": record.method,
+                "benchmark": record.benchmark,
+                "category": record.category,
+                "solved": record.solved,
+                "time_seconds": round(record.time, 4),
+                "attempts": record.attempts,
+                "timed_out": record.report.timed_out,
+                "error": record.report.error,
+                "lifted": record.report.lifted_source,
+            }
+        )
+    return rows
+
+
+def save_csv(result: EvaluationResult, path: Union[str, Path]) -> None:
+    rows = records_as_rows(result)
+    if not rows:
+        raise ValueError("cannot save an empty evaluation result")
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def save_json(result: EvaluationResult, path: Union[str, Path]) -> None:
+    payload = {
+        "records": records_as_rows(result),
+        "success_rates": success_rates(result),
+        "cactus": cactus_series(result),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def text_report(result: EvaluationResult, title: str = "Evaluation report") -> str:
+    """A complete human-readable report: summary metrics plus Table-1 style data."""
+    lines: List[str] = [title, "=" * len(title), ""]
+    summary_rows = [
+        {
+            "method": metrics.method,
+            "solved": f"{metrics.solved}/{metrics.total_benchmarks}",
+            "percent": f"{metrics.solve_percent:.1f}%",
+            "avg time (solved)": f"{metrics.mean_time_solved:.2f}s",
+            "avg attempts": f"{metrics.mean_attempts_solved:.1f}",
+            "timeouts": metrics.timeouts,
+            "errors": metrics.errors,
+        }
+        for metrics in all_method_metrics(result)
+    ]
+    lines.append(format_table(summary_rows, "Per-method summary"))
+    if "STAGG_TD" in result.methods():
+        lines.append("Headline metrics")
+        for key, value in headline_metrics(result).items():
+            lines.append(f"  {key}: {value:.2f}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Regeneration of the paper's tables (Tables 1, 2 and 3) from run records.
+
+Each ``table*`` function returns the table as a list of row dictionaries
+(easy to assert on in tests and to dump as CSV) plus a ``format_table``
+helper that renders any of them as aligned text for reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .metrics import method_metrics
+from .runner import EvaluationResult
+
+Row = Dict[str, object]
+
+#: Method order used by Table 1 (matching the paper's presentation).
+TABLE1_METHODS = (
+    "STAGG_TD",
+    "STAGG_BU",
+    "LLM",
+    "C2TACO",
+    "C2TACO.NoHeuristics",
+    "Tenspiler",
+)
+
+
+def table1(
+    result: EvaluationResult,
+    real_world_result: Optional[EvaluationResult] = None,
+    methods: Sequence[str] = TABLE1_METHODS,
+) -> List[Row]:
+    """Table 1: coverage and time on the real-world / full sets and on the
+    subsets solved by C2TACO and by Tenspiler."""
+    real_world = (real_world_result or result).filter(real_world_only=True)
+    rows: List[Row] = []
+    c2taco_solved = (
+        set(result.solved_benchmarks("C2TACO")) if "C2TACO" in result.methods() else set()
+    )
+    tenspiler_solved = (
+        set(real_world.solved_benchmarks("Tenspiler"))
+        if "Tenspiler" in real_world.methods()
+        else set()
+    )
+    for method in methods:
+        if method not in result.methods() and method not in real_world.methods():
+            continue
+        row: Row = {"method": method}
+        if method in real_world.methods():
+            metrics_rw = method_metrics(real_world, method)
+            row["real_world_solved"] = metrics_rw.solved
+            row["real_world_time"] = round(metrics_rw.mean_time_solved, 2)
+        if method in result.methods():
+            metrics_all = method_metrics(result, method)
+            row["all_solved"] = metrics_all.solved
+            row["all_time"] = round(metrics_all.mean_time_solved, 2)
+            row["attempts"] = round(metrics_all.mean_attempts_solved, 2)
+            if c2taco_solved:
+                on_c2taco = method_metrics(result, method, benchmarks=c2taco_solved)
+                row["c2taco_subset_solved"] = on_c2taco.solved
+                row["c2taco_subset_time"] = round(on_c2taco.mean_time_solved, 2)
+        if tenspiler_solved and method in real_world.methods():
+            on_tenspiler = method_metrics(real_world, method, benchmarks=tenspiler_solved)
+            row["tenspiler_subset_solved"] = on_tenspiler.solved
+            row["tenspiler_subset_time"] = round(on_tenspiler.mean_time_solved, 2)
+        rows.append(row)
+    return rows
+
+
+def table2(result: EvaluationResult, total_benchmarks: Optional[int] = None) -> List[Row]:
+    """Table 2: impact of dropping penalty rules (STAGG_TD / STAGG_BU variants)."""
+    rows: List[Row] = []
+    for method in result.methods():
+        metrics = method_metrics(result, method)
+        total = total_benchmarks or metrics.total_benchmarks
+        rows.append(
+            {
+                "method": method,
+                "solved": metrics.solved,
+                "percent": round(100.0 * metrics.solved / total, 2) if total else 0.0,
+                "time": round(metrics.mean_time_solved, 2),
+            }
+        )
+    return rows
+
+
+def table3(result: EvaluationResult, total_benchmarks: Optional[int] = None) -> List[Row]:
+    """Table 3: grammar / probability configurations plus baselines."""
+    rows: List[Row] = []
+    for method in result.methods():
+        metrics = method_metrics(result, method)
+        total = total_benchmarks or metrics.total_benchmarks
+        rows.append(
+            {
+                "method": method,
+                "solved": metrics.solved,
+                "percent": round(100.0 * metrics.solved / total, 2) if total else 0.0,
+                "time": round(metrics.mean_time_solved, 2),
+                "attempts": round(metrics.mean_attempts_solved, 2),
+            }
+        )
+    return rows
+
+
+def format_table(rows: Iterable[Row], title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines) + "\n"

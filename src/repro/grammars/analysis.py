@@ -1,0 +1,122 @@
+"""Analyses over probabilistic grammars used by the A* searches.
+
+The central quantity is ``h(alpha)``: the maximal probability of deriving any
+terminal string from non-terminal ``alpha`` (Section 5.1).  It is defined by
+the recursive equation
+
+    h(alpha) = max_{alpha -> beta}  P[alpha -> beta] * prod_i h(beta_i)
+
+with ``h(t) = 1`` for terminals ``t``.  We compute the (unique) greatest
+fixpoint of this system by value iteration, which converges because all
+probabilities lie in ``[0, 1]``.
+
+From ``h`` we obtain the admissible A* heuristic
+
+    g(x) = - sum_{unexpanded non-terminals alpha in x} log2 h(alpha)
+
+implemented by :func:`heuristic_completion_cost`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+from .cfg import NonTerminal, Symbol, is_nonterminal
+from .pcfg import ProbabilisticGrammar
+
+#: Probability floor used when converting h() values to costs, so that
+#: non-terminals that cannot derive any terminal string (h == 0) still map to
+#: a large-but-finite cost rather than infinity.
+_PROBABILITY_FLOOR = 1e-12
+
+#: Convergence threshold for the fixpoint iteration.
+_CONVERGENCE_EPSILON = 1e-12
+
+#: Hard cap on fixpoint iterations; the system is monotone so convergence is
+#: fast, but a malformed grammar should not hang the caller.
+_MAX_ITERATIONS = 10_000
+
+
+def max_derivation_probabilities(
+    grammar: ProbabilisticGrammar,
+) -> Dict[NonTerminal, float]:
+    """Compute ``h(alpha)`` for every non-terminal of *grammar*.
+
+    Returns a dictionary mapping each non-terminal to the maximal probability
+    of deriving a terminal string from it.  Non-terminals that cannot derive
+    any terminal string get probability 0.
+    """
+    h: Dict[NonTerminal, float] = {nt: 0.0 for nt in grammar.nonterminals}
+
+    def rhs_product(rhs: Sequence[Symbol]) -> float:
+        product = 1.0
+        for sym in rhs:
+            if is_nonterminal(sym):
+                product *= h[sym]
+            # terminals contribute factor 1
+            if product == 0.0:
+                return 0.0
+        return product
+
+    for _ in range(_MAX_ITERATIONS):
+        changed = False
+        for nt in grammar.nonterminals:
+            if not grammar.has_nonterminal(nt):
+                continue
+            best = 0.0
+            for prod in grammar.productions_for(nt):
+                value = grammar.probability(prod) * rhs_product(prod.rhs)
+                if value > best:
+                    best = value
+            if abs(best - h[nt]) > _CONVERGENCE_EPSILON:
+                h[nt] = best
+                changed = True
+            else:
+                h[nt] = max(h[nt], best)
+        if not changed:
+            break
+    return h
+
+
+def completion_costs(grammar: ProbabilisticGrammar) -> Dict[NonTerminal, float]:
+    """Per-non-terminal completion cost ``-log2 h(alpha)``."""
+    h = max_derivation_probabilities(grammar)
+    return {
+        nt: -math.log2(max(value, _PROBABILITY_FLOOR)) for nt, value in h.items()
+    }
+
+
+def heuristic_completion_cost(
+    symbols: Iterable[Symbol], costs: Mapping[NonTerminal, float]
+) -> float:
+    """The A* heuristic ``g(x)`` for a sentential form.
+
+    *symbols* is the yield of a partial derivation (mixing terminals and
+    non-terminals); *costs* is the map produced by :func:`completion_costs`.
+    Terminal strings contribute zero; each unexpanded non-terminal contributes
+    its minimal completion cost.
+    """
+    total = 0.0
+    for sym in symbols:
+        if is_nonterminal(sym):
+            total += costs.get(sym, -math.log2(_PROBABILITY_FLOOR))
+    return total
+
+
+def derivable_nonterminals(grammar: ProbabilisticGrammar) -> Dict[NonTerminal, bool]:
+    """Which non-terminals can derive at least one terminal string.
+
+    This is the qualitative version of :func:`max_derivation_probabilities`
+    and is used by grammar-generation sanity checks: a refined grammar in
+    which the start symbol cannot derive any sentence is a construction bug.
+    """
+    h = max_derivation_probabilities(grammar)
+    return {nt: value > 0.0 for nt, value in h.items()}
+
+
+def expected_min_cost_sentence(grammar: ProbabilisticGrammar) -> float:
+    """Cost (``-log2`` probability) of the most likely sentence of the grammar."""
+    h = max_derivation_probabilities(grammar)
+    start_probability = h.get(grammar.start, 0.0)
+    return -math.log2(max(start_probability, _PROBABILITY_FLOOR))

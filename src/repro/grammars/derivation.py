@@ -1,0 +1,289 @@
+"""Derivation trees and leftmost derivations over context-free grammars.
+
+The top-down A* search of Section 5.1 manipulates *partial derivation trees*:
+the frontier of the search is a set of partially expanded trees whose yield
+is a sentential form (a mix of terminal tokens and yet-unexpanded
+non-terminals).  This module provides that tree representation together with
+utilities to:
+
+* expand the leftmost unexpanded non-terminal with a production,
+* read off the yield (the partial template),
+* extract the sequence of applied productions (the leftmost derivation,
+  Definition 4.6), which is exactly what the pCFG weight-learning step counts.
+
+Derivation trees are treated as *persistent* values: expanding a tree never
+mutates it.  Internally, :meth:`DerivationTree.expand_leftmost` copies only
+the path from the root to the expanded non-terminal and shares every other
+subtree with its parent tree, and every node carries a ``complete`` flag, so
+expansion and completeness checks cost O(depth) instead of O(tree size).
+This matters: the A* searches expand tens of thousands of trees per query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .cfg import (
+    ContextFreeGrammar,
+    GrammarError,
+    NonTerminal,
+    Production,
+    Symbol,
+    is_nonterminal,
+    is_terminal,
+)
+
+
+class DerivationNode:
+    """A node in a derivation tree.
+
+    A node is either a terminal leaf (``symbol`` is a string, ``production``
+    is None) or a non-terminal.  A non-terminal node is *unexpanded* while
+    ``production`` is None and *expanded* once a production has been applied,
+    in which case ``children`` holds one node per right-hand-side symbol.
+
+    Nodes cache two structural facts:
+
+    * ``terminal`` — whether the symbol is a terminal token, and
+    * ``complete`` — whether the subtree below contains no unexpanded
+      non-terminal (terminals are trivially complete).
+
+    Once a node is referenced by more than one tree (which happens as soon as
+    its tree has been expanded) it must be treated as immutable; all mutation
+    goes through :meth:`DerivationTree.expand_leftmost`, which copies the
+    nodes it changes.
+    """
+
+    __slots__ = ("symbol", "production", "children", "terminal", "complete")
+
+    def __init__(
+        self,
+        symbol: Symbol,
+        production: Optional[Production] = None,
+        children: Optional[List["DerivationNode"]] = None,
+    ) -> None:
+        self.symbol = symbol
+        self.production = production
+        self.children: List[DerivationNode] = children if children is not None else []
+        self.terminal = isinstance(symbol, str)
+        if self.terminal:
+            self.complete = True
+        elif production is None:
+            self.complete = False
+        else:
+            self.complete = all(child.complete for child in self.children)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.terminal
+
+    @property
+    def is_expanded(self) -> bool:
+        return self.terminal or self.production is not None
+
+    def clone(self) -> "DerivationNode":
+        """Deep-copy this node (kept for API compatibility; rarely needed)."""
+        return DerivationNode(
+            symbol=self.symbol,
+            production=self.production,
+            children=[child.clone() for child in self.children],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DerivationNode):
+            return NotImplemented
+        return (
+            self.symbol == other.symbol
+            and self.production == other.production
+            and self.children == other.children
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DerivationNode({self.symbol!r}, expanded={self.is_expanded})"
+
+
+class DerivationTree:
+    """A (possibly partial) derivation tree rooted at the grammar's start symbol."""
+
+    def __init__(self, grammar: ContextFreeGrammar, root: Optional[DerivationNode] = None):
+        self._grammar = grammar
+        self._root = root if root is not None else DerivationNode(grammar.start)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def grammar(self) -> ContextFreeGrammar:
+        return self._grammar
+
+    @property
+    def root(self) -> DerivationNode:
+        return self._root
+
+    def clone(self) -> "DerivationTree":
+        return DerivationTree(self._grammar, self._root.clone())
+
+    # ------------------------------------------------------------------ #
+    # Completeness / yields
+    # ------------------------------------------------------------------ #
+    def is_complete(self) -> bool:
+        """True when every non-terminal in the tree has been expanded."""
+        return self._root.complete
+
+    def yield_symbols(self) -> Tuple[Symbol, ...]:
+        """The yield of the tree: terminals for expanded parts, non-terminals otherwise."""
+        out: List[Symbol] = []
+        self._collect_yield(self._root, out)
+        return tuple(out)
+
+    def yield_tokens(self) -> Tuple[str, ...]:
+        """The terminal-only yield.  Raises if the tree is not complete."""
+        symbols = self.yield_symbols()
+        if any(is_nonterminal(s) for s in symbols):
+            raise GrammarError("yield_tokens() called on a partial derivation tree")
+        return tuple(str(s) for s in symbols)
+
+    def sentence(self, separator: str = " ") -> str:
+        """The yield joined into a single string (partial trees show non-terminals)."""
+        return separator.join(str(s) for s in self.yield_symbols())
+
+    def _collect_yield(self, node: DerivationNode, out: List[Symbol]) -> None:
+        if node.terminal or not node.is_expanded:
+            out.append(node.symbol)
+            return
+        for child in node.children:
+            self._collect_yield(child, out)
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def leftmost_nonterminal(self) -> Optional[NonTerminal]:
+        """The symbol of the leftmost unexpanded non-terminal, or None."""
+        node = self._leftmost_unexpanded(self._root)
+        return None if node is None else node.symbol  # type: ignore[return-value]
+
+    def expand_leftmost(self, production: Production) -> "DerivationTree":
+        """Return a new tree with the leftmost unexpanded non-terminal expanded.
+
+        The original tree is not modified.  Only the nodes on the path from
+        the root to the expanded non-terminal are copied; all other subtrees
+        are shared between the old and the new tree.
+        """
+        new_root = self._expand_path(self._root, production)
+        if new_root is None:
+            raise GrammarError("cannot expand a complete derivation tree")
+        return DerivationTree(self._grammar, new_root)
+
+    def _expand_path(
+        self, node: DerivationNode, production: Production
+    ) -> Optional[DerivationNode]:
+        """Copy the path to the leftmost unexpanded node, applying *production*."""
+        if node.complete:
+            return None
+        if not node.is_expanded:
+            if node.symbol != production.lhs:
+                raise GrammarError(
+                    f"leftmost non-terminal is {node.symbol}, "
+                    f"production expands {production.lhs}"
+                )
+            children = [DerivationNode(sym) for sym in production.rhs]
+            return DerivationNode(node.symbol, production, children)
+        for position, child in enumerate(node.children):
+            if child.complete:
+                continue
+            replaced = self._expand_path(child, production)
+            # ``child`` was the leftmost incomplete child, so ``replaced`` is
+            # never None here.
+            children = list(node.children)
+            children[position] = replaced
+            return DerivationNode(node.symbol, node.production, children)
+        return None
+
+    def possible_expansions(self) -> Tuple[Production, ...]:
+        """All productions applicable to the leftmost unexpanded non-terminal."""
+        nt = self.leftmost_nonterminal()
+        if nt is None:
+            return ()
+        return self._grammar.productions_for(nt)
+
+    def _leftmost_unexpanded(self, node: DerivationNode) -> Optional[DerivationNode]:
+        if node.complete:
+            return None
+        if not node.is_expanded:
+            return node
+        for child in node.children:
+            if child.complete:
+                continue
+            found = self._leftmost_unexpanded(child)
+            if found is not None:
+                return found
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Derivations and structural metrics
+    # ------------------------------------------------------------------ #
+    def applied_productions(self) -> Tuple[Production, ...]:
+        """The productions applied so far, in leftmost-derivation order."""
+        out: List[Production] = []
+        self._collect_productions(self._root, out)
+        return tuple(out)
+
+    def _collect_productions(self, node: DerivationNode, out: List[Production]) -> None:
+        if node.terminal or not node.is_expanded:
+            return
+        out.append(node.production)  # type: ignore[arg-type]
+        for child in node.children:
+            self._collect_productions(child, out)
+
+    def expression_depth(self, expression_nonterminals: Sequence[str] = ("EXPR",)) -> int:
+        """Depth of the expression AST, *excluding* index expressions.
+
+        The paper measures template depth such that ``b(i)`` and ``c(i,j)``
+        have depth 1 and ``b(i) + c(i,j)`` has depth 2 (Section 5.1).  We
+        approximate this from the derivation tree by counting the maximum
+        nesting of nodes labelled with an expression non-terminal (``EXPR`` by
+        default), which coincides with that measure for the template grammars
+        STAGG generates.
+        """
+        names = set(expression_nonterminals)
+
+        def walk(node: DerivationNode) -> int:
+            if node.terminal:
+                return 0
+            child_depth = 0
+            for child in node.children:
+                depth = walk(child)
+                if depth > child_depth:
+                    child_depth = depth
+            own = 1 if str(node.symbol) in names else 0
+            return own + child_depth
+
+        return walk(self._root)
+
+    def count_nonterminal(self, name: str) -> int:
+        """Number of nodes (expanded or not) labelled with non-terminal *name*."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.terminal and str(node.symbol) == name:
+                count += 1
+            stack.extend(node.children)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DerivationTree({self.sentence()!r})"
+
+
+def leftmost_derivation(
+    grammar: ContextFreeGrammar, productions: Sequence[Production]
+) -> DerivationTree:
+    """Replay a sequence of productions as a leftmost derivation.
+
+    Useful in tests: given the rule sequence of Definition 4.6 this rebuilds
+    the derivation tree (and therefore the derived sentence).
+    """
+    tree = DerivationTree(grammar)
+    for production in productions:
+        tree = tree.expand_leftmost(production)
+    return tree

@@ -1,0 +1,32 @@
+"""LLM oracle layer: prompts, response parsing and candidate generation.
+
+The real system queries GPT-4; this reproduction ships a statistically
+calibrated synthetic oracle plus a recorded-response replayer so real model
+output can be substituted without code changes (see DESIGN.md §1).
+"""
+
+from .config import DEFAULT_ORACLE_CONFIG, OracleConfig
+from .oracle import LLMOracle, LiftingQuery, OracleResponse, StaticOracle
+from .parsing import ParsedResponse, extract_candidate_lines, normalize_line, parse_response
+from .prompts import PROMPT_TEMPLATE, SYSTEM_ROLE, build_messages, build_prompt
+from .recorded import RecordedOracle
+from .synthetic import SyntheticOracle
+
+__all__ = [
+    "OracleConfig",
+    "DEFAULT_ORACLE_CONFIG",
+    "LLMOracle",
+    "LiftingQuery",
+    "OracleResponse",
+    "StaticOracle",
+    "SyntheticOracle",
+    "RecordedOracle",
+    "ParsedResponse",
+    "parse_response",
+    "extract_candidate_lines",
+    "normalize_line",
+    "PROMPT_TEMPLATE",
+    "SYSTEM_ROLE",
+    "build_prompt",
+    "build_messages",
+]

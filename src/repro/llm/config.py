@@ -1,0 +1,83 @@
+"""Configuration for the LLM oracle layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Parameters of an LLM query, mirroring the setup of the paper.
+
+    The paper queries GPT-4 with temperature 1.0 and asks for 10 candidate
+    TACO expressions (Prompt 1).  The remaining fields only affect the
+    synthetic oracle; they describe a two-level noise model:
+
+    * **Query level** — with a probability that falls with kernel complexity,
+      the "model" *understands* the kernel.  When it does not, one systematic
+      mistake is sampled for the query and baked into (almost) every
+      candidate, reproducing the fact that temperature-1.0 samples from the
+      same model are strongly correlated: if GPT-4 misreads a loop nest, all
+      ten of its answers are wrong in the same way.
+    * **Candidate level** — independent per-candidate noise (index-order
+      slips, the odd wrong operator or rank, invalid syntax) on top, which is
+      what makes the ten candidates differ from each other.
+
+    The defaults were calibrated against two targets from the paper's
+    evaluation: the "LLM only" baseline solving roughly 35-50% of the corpus
+    (Table 3) while STAGG, which only consumes the *statistics* of the
+    candidates, stays in the mid-90s.
+    """
+
+    #: Number of candidate expressions requested per query.
+    num_candidates: int = 10
+    #: Sampling temperature recorded with each query (informational; the
+    #: synthetic oracle's noise model is calibrated for 1.0).
+    temperature: float = 1.0
+    #: RNG seed for the synthetic oracle (fully deterministic runs).
+    seed: int = 2025
+
+    # --- query-level (correlated) noise -------------------------------- #
+    #: Probability that the model understands a kernel of complexity 2 or
+    #: less (complexity = right-hand-side tensors + operators of the
+    #: reference solution).
+    understanding_base: float = 0.54
+    #: How much the understanding probability drops per unit of complexity
+    #: beyond 2 — this is what reproduces the paper's observation that the
+    #: LLM alone falls over on the harder benchmarks.
+    understanding_decay: float = 0.12
+    #: Lower bound on the understanding probability.
+    understanding_floor: float = 0.05
+    #: Probability that a candidate from a *misunderstood* query carries the
+    #: query's systematic mistake.  The remaining samples escape it but make
+    #: an independent mistake instead (still wrong, but they let the true
+    #: operators and shapes surface in the candidate statistics).
+    systematic_adherence: float = 0.85
+    #: Probability that the systematic mistake corrupts the *shape*
+    #: statistics STAGG learns from (a wrong rank, a merged or extra tensor)
+    #: rather than the composition (index order, operator choice).  Shapes
+    #: are plainly visible in the C signature and loop bounds, so GPT-4 gets
+    #: them right far more reliably than it gets the composition right; this
+    #: is the single knob that separates STAGG's coverage from the LLM's.
+    systematic_corrupting: float = 0.04
+
+    # --- candidate-level (independent) noise ---------------------------- #
+    #: Probability of permuting / renaming index variables of one tensor.
+    noise_permute_indices: float = 0.35
+    #: Probability of swapping one operator for another.
+    noise_wrong_operator: float = 0.08
+    #: Probability of changing the rank of one right-hand-side tensor.
+    noise_wrong_rank: float = 0.06
+    #: Probability of adding or dropping a whole term.
+    noise_extra_term: float = 0.05
+    #: Probability of replacing one tensor occurrence with another argument
+    #: (the "used the wrong array" mistake), which templatization cannot undo.
+    noise_alias_tensor: float = 0.08
+    #: Probability that a candidate is syntactically malformed (and will be
+    #: discarded by the response parser, as the paper describes).  Invalid
+    #: TACO syntax (einsum-style calls, bracket indexing, truncated lines) is
+    #: GPT-4's dominant failure mode on this task.
+    noise_invalid_syntax: float = 0.30
+
+
+DEFAULT_ORACLE_CONFIG = OracleConfig()

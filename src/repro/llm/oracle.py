@@ -1,0 +1,106 @@
+"""The oracle interface: what STAGG asks of a large language model.
+
+STAGG only ever needs one operation from the LLM: *given a C kernel, propose
+N candidate TACO expressions* (Prompt 1).  This module defines that interface
+plus the value objects that flow through it, so the synthesis pipeline is
+agnostic to whether candidates come from a real hosted model, a recorded
+response cache, or the synthetic oracle used in this reproduction.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..taco import TacoProgram
+from .config import DEFAULT_ORACLE_CONFIG, OracleConfig
+from .parsing import ParsedResponse, parse_response
+from .prompts import build_prompt
+
+
+@dataclass(frozen=True)
+class LiftingQuery:
+    """One lifting task as seen by the oracle.
+
+    Attributes
+    ----------
+    c_source:
+        The legacy C kernel to lift (what a real LLM would see).
+    name:
+        An identifier for the query (benchmark name); used by the recorded
+        oracle to look up cached responses.
+    reference_solution:
+        The ground-truth TACO expression, when known.  **This field exists
+        only so the synthetic oracle can generate realistic neighbourhood
+        guesses**; real oracles must ignore it, and the STAGG pipeline never
+        reads it.
+    """
+
+    c_source: str
+    name: str = "<query>"
+    reference_solution: Optional[str] = None
+
+
+@dataclass
+class OracleResponse:
+    """The oracle's answer to a query."""
+
+    query: LiftingQuery
+    raw_text: str
+    parsed: ParsedResponse
+
+    @property
+    def candidates(self) -> List[TacoProgram]:
+        """The syntactically valid candidate programs."""
+        return self.parsed.candidates
+
+    @property
+    def num_valid(self) -> int:
+        return self.parsed.num_valid
+
+    @property
+    def num_rejected(self) -> int:
+        return self.parsed.num_rejected
+
+
+class LLMOracle(abc.ABC):
+    """Abstract base class for candidate-proposing oracles."""
+
+    def __init__(self, config: OracleConfig = DEFAULT_ORACLE_CONFIG) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> OracleConfig:
+        return self._config
+
+    def prompt_for(self, query: LiftingQuery) -> str:
+        """The Prompt-1 text that would be sent for *query*."""
+        return build_prompt(query.c_source, self._config.num_candidates)
+
+    @abc.abstractmethod
+    def generate_raw(self, query: LiftingQuery) -> str:
+        """Produce the raw (unparsed) response text for *query*."""
+
+    def propose(self, query: LiftingQuery) -> OracleResponse:
+        """Run the query and parse the response into TACO candidates."""
+        raw = self.generate_raw(query)
+        return OracleResponse(query=query, raw_text=raw, parsed=parse_response(raw))
+
+
+class StaticOracle(LLMOracle):
+    """An oracle that always returns a fixed list of candidate strings.
+
+    Useful in tests and for reproducing the worked example of Section 2.1.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[str],
+        config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+    ) -> None:
+        super().__init__(config)
+        self._candidates = list(candidates)
+
+    def generate_raw(self, query: LiftingQuery) -> str:
+        return "\n".join(self._candidates)

@@ -1,0 +1,37 @@
+"""Prompt construction for the LLM query (Prompt 1 of the paper)."""
+
+from __future__ import annotations
+
+#: The system role used for every query, verbatim from the paper.
+SYSTEM_ROLE = (
+    "You are a scientific assistant that knows a lot about transpilation."
+)
+
+#: The instruction template of Prompt 1.  ``{num_candidates}`` is 10 in the
+#: paper's experiments; ``{c_source}`` is the legacy C program being lifted.
+PROMPT_TEMPLATE = (
+    "You are a scientific assistant that knows a lot about transpilation. "
+    "Translate the following C code to an expression in the TACO tensor "
+    "index notation. The expression must be valid as input to the taco "
+    "compiler. Return a list with {num_candidates} possible expressions. "
+    "Return the list and only the list, no explanations.\n\n"
+    "{c_source}\n"
+)
+
+
+def build_prompt(c_source: str, num_candidates: int = 10) -> str:
+    """Instantiate Prompt 1 for a given C kernel."""
+    return PROMPT_TEMPLATE.format(num_candidates=num_candidates, c_source=c_source.strip())
+
+
+def build_messages(c_source: str, num_candidates: int = 10) -> list[dict[str, str]]:
+    """The chat-message form of the prompt (system role + user message).
+
+    This is the shape a real OpenAI / Anthropic client would send; the
+    recorded-oracle tooling stores it alongside responses so that cached real
+    model output can be replayed through exactly the same interface.
+    """
+    return [
+        {"role": "system", "content": SYSTEM_ROLE},
+        {"role": "user", "content": build_prompt(c_source, num_candidates)},
+    ]

@@ -1,0 +1,68 @@
+"""Replaying recorded (real) LLM responses.
+
+The synthetic oracle makes the reproduction self-contained, but the pipeline
+is designed so that *real* GPT-4 responses can be dropped in without touching
+any other code: record each raw response under the benchmark's name in a JSON
+file and point :class:`RecordedOracle` at it.
+
+The JSON format is a single object mapping query names to either a raw
+response string or a list of candidate lines::
+
+    {
+      "blend.dot": "1. a = b(i) * c(i)\\n2. r = sum(v(i) * w(i))",
+      "darknet.scale": ["out(i,j) = in(i,j) * s", "o(i,j) = m(i,j) * Const"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .config import DEFAULT_ORACLE_CONFIG, OracleConfig
+from .oracle import LiftingQuery, LLMOracle
+
+
+class RecordedOracle(LLMOracle):
+    """Serves previously recorded responses keyed by query name."""
+
+    def __init__(
+        self,
+        responses: Union[str, Path, Dict[str, Union[str, List[str]]]],
+        config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+        strict: bool = True,
+    ) -> None:
+        super().__init__(config)
+        if isinstance(responses, (str, Path)):
+            with open(responses, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        else:
+            data = dict(responses)
+        self._responses: Dict[str, str] = {}
+        for name, value in data.items():
+            if isinstance(value, list):
+                self._responses[name] = "\n".join(str(v) for v in value)
+            else:
+                self._responses[name] = str(value)
+        self._strict = strict
+
+    def has_response_for(self, name: str) -> bool:
+        return name in self._responses
+
+    def generate_raw(self, query: LiftingQuery) -> str:
+        if query.name in self._responses:
+            return self._responses[query.name]
+        if self._strict:
+            raise KeyError(f"no recorded response for query {query.name!r}")
+        return ""
+
+    @staticmethod
+    def record(path: Union[str, Path], responses: Dict[str, Union[str, List[str]]]) -> None:
+        """Write a response cache to *path* in the documented format."""
+        serializable = {
+            name: value if isinstance(value, str) else list(value)
+            for name, value in responses.items()
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(serializable, handle, indent=2, sort_keys=True)

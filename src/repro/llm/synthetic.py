@@ -1,0 +1,450 @@
+"""A synthetic stand-in for the GPT-4 oracle.
+
+The paper queries GPT-4 (temperature 1.0) for 10 candidate TACO expressions
+per kernel.  This reproduction has no network access, so the synthetic
+oracle replays the *statistical behaviour* of that query instead: given the
+reference solution of a benchmark it emits candidates that are plausible but
+mostly wrong neighbours of the truth — renamed tensors and indices, permuted
+index orders, wrong operators, wrong ranks, extra or missing terms, and the
+occasional syntactically malformed line.
+
+The noise model has two levels (see :class:`repro.llm.config.OracleConfig`):
+
+* **Query-level, correlated.** With a probability that falls with kernel
+  complexity the model "understands" the kernel; otherwise one systematic
+  mistake is sampled for the whole query and shared by every candidate.
+  This mirrors how temperature-1.0 samples from a single model fail
+  *together*, and it is what keeps the "LLM only" baseline in the paper's
+  35-50% band: a misunderstood query is unsolvable from the raw candidates
+  no matter how many are requested.
+* **Candidate-level, independent.** Small per-candidate slips (index order,
+  the odd wrong operator or rank, invalid syntax) on top, which is why the
+  ten candidates differ from each other.
+
+Crucially, systematic mistakes are overwhelmingly *composition-level* (index
+structure, operator choice) rather than *shape-level* (tensor ranks and the
+set of distinct arrays): shapes are plainly visible in the C signature and
+loop bounds, so GPT-4 reports them correctly even when its expressions are
+wrong.  That property — wrong programs, right statistics — is exactly the
+neighbourhood hypothesis STAGG's grammar learning exploits (Section 4), and
+it is what lets STAGG's coverage sit far above the LLM-only baseline, as in
+the paper.
+
+Swapping in a real model is a one-class change: implement
+:class:`repro.llm.oracle.LLMOracle.generate_raw` with an API call, or record
+real responses and replay them with :class:`repro.llm.recorded.RecordedOracle`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ..taco import (
+    BinOp,
+    BinaryOp,
+    Constant,
+    Expression,
+    TacoProgram,
+    TensorAccess,
+    parse_program,
+)
+from .config import DEFAULT_ORACLE_CONFIG, OracleConfig
+from .oracle import LiftingQuery, LLMOracle
+
+#: Index-variable pools the "model" likes to use in its answers.
+_INDEX_POOLS = (
+    ["i", "j", "k", "l"],
+    ["f", "i", "j", "k"],
+    ["m", "n", "p", "q"],
+    ["x", "y", "z", "w"],
+)
+
+#: Generic output names used when the C code gives no better hint.
+_OUTPUT_NAMES = ["r", "out", "res", "Result", "target", "dst", "y"]
+
+#: Generic input names.
+_INPUT_NAMES = ["a", "b", "c", "m1", "m2", "v", "w", "x", "mat", "vec", "src", "t"]
+
+
+class SyntheticOracle(LLMOracle):
+    """Generates GPT-4-like candidate lists from a reference solution."""
+
+    def __init__(self, config: OracleConfig = DEFAULT_ORACLE_CONFIG) -> None:
+        super().__init__(config)
+
+    # ------------------------------------------------------------------ #
+    # Raw generation
+    # ------------------------------------------------------------------ #
+    def generate_raw(self, query: LiftingQuery) -> str:
+        if not query.reference_solution:
+            raise ValueError(
+                "SyntheticOracle needs query.reference_solution; use a recorded "
+                "or hosted oracle for queries without a known reference"
+            )
+        reference = parse_program(query.reference_solution)
+        rng = self._rng_for(query)
+        param_names = _parameter_names(query.c_source)
+
+        # Query-level state: did the model understand the kernel?  If not,
+        # bake one systematic mistake into the base program that (almost)
+        # every candidate is derived from.
+        understood = rng.random() < self._understanding_probability(reference)
+        systematic = None if understood else self._systematic_mistake(reference, rng)
+
+        lines: List[str] = []
+        for position in range(self._config.num_candidates):
+            base = reference
+            if systematic is not None:
+                if rng.random() < self._config.systematic_adherence:
+                    base = systematic
+                else:
+                    # The occasional sample escapes the systematic mistake but
+                    # makes an independent one instead: it still is not the
+                    # answer, yet it lets the true operators and shapes show
+                    # up in the candidate statistics.
+                    base = self._escaped_mistake(reference, rng)
+            line = self._candidate_line(base, rng, param_names)
+            lines.append(f"{position + 1}. {line}")
+        return "\n".join(lines)
+
+    def _escaped_mistake(
+        self, reference: TacoProgram, rng: random.Random
+    ) -> TacoProgram:
+        """An independent composition-level mistake for a non-conforming sample."""
+        if reference.operators() and rng.random() < 0.4:
+            mistake = self._mutate_operator(reference, rng)
+        else:
+            mistake = self._mutate_terms(reference, rng)
+        if _structural_signature(mistake) == _structural_signature(reference):
+            mistake = self._mutate_terms(reference, rng)
+        return mistake
+
+    def _understanding_probability(self, reference: TacoProgram) -> float:
+        """How likely the model is to grasp *reference*'s structure at all."""
+        config = self._config
+        complexity = len(reference.rhs.tensors()) + len(reference.operators())
+        probability = config.understanding_base - config.understanding_decay * max(
+            0, complexity - 2
+        )
+        return max(config.understanding_floor, min(0.95, probability))
+
+    def _systematic_mistake(
+        self, reference: TacoProgram, rng: random.Random
+    ) -> TacoProgram:
+        """The one mistake a misunderstood query repeats in every candidate.
+
+        Mostly composition-level (index structure, operator choice); only a
+        ``systematic_corrupting`` fraction touches the shape statistics
+        (ranks, distinct tensors) that STAGG's dimension vote and grammar
+        refinement depend on.
+        """
+        config = self._config
+        if rng.random() < config.systematic_corrupting:
+            corrupting = [self._mutate_rank, self._mutate_terms]
+            if len({a.name for a in reference.rhs.tensors()}) >= 2:
+                corrupting.append(self._mutate_alias)
+            mistake = rng.choice(corrupting)(reference, rng)
+        else:
+            has_multidim = any(a.rank >= 2 for a in reference.rhs.tensors())
+            if reference.operators() and (not has_multidim or rng.random() < 0.5):
+                mistake = self._mutate_operator(reference, rng)
+            elif has_multidim:
+                mistake = self._mutate_indices(reference, rng)
+            else:
+                # Copy-shaped kernel with no operator to get wrong: the
+                # typical misreading is inventing a redundant extra term.
+                mistake = self._mutate_terms(reference, rng)
+        if _structural_signature(mistake) == _structural_signature(reference):
+            # The sampled mistake happened to be a no-op (e.g. an index swap
+            # that renaming normalises away); fall back to something that is
+            # guaranteed to change the structure.
+            mistake = self._mutate_terms(reference, rng)
+        return mistake
+
+    def _rng_for(self, query: LiftingQuery) -> random.Random:
+        digest = hashlib.sha256(
+            f"{self._config.seed}:{query.name}:{query.c_source}".encode()
+        ).hexdigest()
+        return random.Random(int(digest[:16], 16))
+
+    # ------------------------------------------------------------------ #
+    # Candidate construction
+    # ------------------------------------------------------------------ #
+    def _candidate_line(
+        self, base: TacoProgram, rng: random.Random, param_names: Sequence[str]
+    ) -> str:
+        """One response line: *base* plus independent per-candidate noise."""
+        config = self._config
+        program = self._mutate(base, rng)
+        text = self._render_with_surface_noise(program, rng, param_names)
+        if rng.random() < config.noise_invalid_syntax:
+            text = self._corrupt(text, rng)
+        return text
+
+    def _mutate(self, program: TacoProgram, rng: random.Random) -> TacoProgram:
+        """Independent per-candidate slips on top of the query's base program.
+
+        These rates are deliberately modest and flat: GPT-4 reliably
+        recognises *what* the pieces of a tensor kernel are (ranks, arrays,
+        operators) even when it assembles them wrongly, and the dimension
+        vote and learned operator weights of Section 4 only work because most
+        candidates report those pieces correctly.  The query-level systematic
+        mistake, not this function, is what makes hard kernels unsolvable for
+        the LLM-only baseline.
+        """
+        config = self._config
+        mutated = program
+        mutations = [
+            (config.noise_permute_indices, self._mutate_indices),
+            (config.noise_wrong_operator, self._mutate_operator),
+            (config.noise_wrong_rank, self._mutate_rank),
+            (config.noise_alias_tensor, self._mutate_alias),
+            (config.noise_extra_term, self._mutate_terms),
+        ]
+        for probability, mutation in mutations:
+            if rng.random() < min(0.95, probability):
+                mutated = mutation(mutated, rng)
+        return mutated
+
+    # --- individual mutations ------------------------------------------ #
+    def _mutate_indices(self, program: TacoProgram, rng: random.Random) -> TacoProgram:
+        accesses = [a for a in program.rhs.tensors() if a.rank >= 2]
+        if not accesses:
+            # Swap an index variable with a fresh one instead.
+            variables = list(program.index_variables())
+            if not variables:
+                return program
+            victim = rng.choice(variables)
+            fresh = rng.choice([v for v in "ijklfmn" if v not in variables] or ["p"])
+            return _rename_index(program, victim, fresh)
+        victim = rng.choice(accesses)
+        permuted = list(victim.indices)
+        rng.shuffle(permuted)
+        if tuple(permuted) == victim.indices and len(permuted) > 1:
+            permuted[0], permuted[1] = permuted[1], permuted[0]
+        return _replace_access(program, victim, victim.with_indices(permuted))
+
+    def _mutate_operator(self, program: TacoProgram, rng: random.Random) -> TacoProgram:
+        operators = program.operators()
+        if not operators:
+            return program
+        target_position = rng.randrange(len(operators))
+        alternatives = [op for op in BinOp if op is not operators[target_position]]
+        replacement = rng.choice(alternatives)
+        new_rhs, _ = _replace_nth_operator(program.rhs, target_position, replacement)
+        return TacoProgram(program.lhs, new_rhs)
+
+    def _mutate_rank(self, program: TacoProgram, rng: random.Random) -> TacoProgram:
+        accesses = list(program.rhs.tensors())
+        if not accesses:
+            return program
+        victim = rng.choice(accesses)
+        variables = list(program.index_variables()) or ["i"]
+        if victim.rank == 0 or (victim.rank < 3 and rng.random() < 0.5):
+            new_indices = victim.indices + (rng.choice(variables),)
+        else:
+            new_indices = victim.indices[:-1]
+        return _replace_access(program, victim, victim.with_indices(new_indices))
+
+    def _mutate_alias(self, program: TacoProgram, rng: random.Random) -> TacoProgram:
+        """Replace one tensor occurrence with another tensor of the same rank.
+
+        Models the "grabbed the wrong array" mistake (e.g. using the bias
+        vector twice instead of activations + bias), which survives
+        templatization as a genuinely different structure.
+        """
+        accesses = list(program.rhs.tensors())
+        if len(accesses) < 2:
+            return program
+        victim = rng.choice(accesses)
+        donors = [a for a in accesses if a.name != victim.name and a.rank == victim.rank]
+        if not donors:
+            return program
+        donor = rng.choice(donors)
+        return _replace_access(program, victim, victim.rename(donor.name))
+
+    def _mutate_terms(self, program: TacoProgram, rng: random.Random) -> TacoProgram:
+        variables = list(program.lhs.indices) or list(program.index_variables()) or ["i"]
+        existing = program.rhs.tensors()
+        if rng.random() < 0.5 or not isinstance(program.rhs, BinaryOp):
+            # Adding a term usually re-uses a tensor the model already
+            # mentioned (a redundant "+ x(i)"); inventing a brand new tensor
+            # is rarer, mirroring how GPT-4 hallucinates.
+            if existing and rng.random() < 0.7:
+                extra_name = rng.choice(existing).name
+            else:
+                extra_name = chr(ord("b") + len({a.name for a in existing}))
+            extra = TensorAccess(extra_name, (rng.choice(variables),))
+            op = rng.choice([BinOp.ADD, BinOp.MUL])
+            return TacoProgram(program.lhs, BinaryOp(op, program.rhs, extra))
+        # Drop one side of the outermost binary operation.
+        rhs = program.rhs
+        kept = rhs.left if rng.random() < 0.5 else rhs.right
+        if isinstance(kept, Constant):
+            kept = rhs.left if kept is rhs.right else rhs.right
+        return TacoProgram(program.lhs, kept)
+
+    # --- surface rendering --------------------------------------------- #
+    def _render_with_surface_noise(
+        self, program: TacoProgram, rng: random.Random, param_names: Sequence[str]
+    ) -> str:
+        index_pool = list(rng.choice(_INDEX_POOLS))
+        index_map = {}
+        for position, variable in enumerate(program.index_variables()):
+            index_map[variable] = index_pool[position % len(index_pool)]
+
+        tensor_map = {}
+        pointer_names = [n for n in param_names if n.lower() not in ("n", "m", "k", "len", "size")]
+        rng.shuffle(pointer_names)
+        output_candidates = [n for n in pointer_names if "res" in n.lower() or "out" in n.lower()]
+        lhs_name = (
+            output_candidates[0]
+            if output_candidates and rng.random() < 0.8
+            else rng.choice(_OUTPUT_NAMES)
+        )
+        tensor_map[program.lhs.name] = lhs_name
+        available_inputs = [n for n in pointer_names if n != lhs_name] + _INPUT_NAMES
+        position = 0
+        for access in program.rhs.tensors():
+            if access.name in tensor_map:
+                continue
+            tensor_map[access.name] = (
+                available_inputs[position % len(available_inputs)]
+                if rng.random() < 0.75
+                else rng.choice(_INPUT_NAMES)
+            )
+            position += 1
+
+        renamed = program
+        for old, new in index_map.items():
+            renamed = _rename_index(renamed, old, f"__tmp_{old}")
+        for old, new in index_map.items():
+            renamed = _rename_index(renamed, f"__tmp_{old}", new)
+        renamed = _rename_tensors(renamed, tensor_map)
+
+        text = str(renamed)
+        if rng.random() < 0.15:
+            text = text.replace("=", ":=", 1)
+        return text
+
+    def _corrupt(self, text: str, rng: random.Random) -> str:
+        """Make a line syntactically invalid in one of a few LLM-typical ways."""
+        choice = rng.randrange(4)
+        lhs, _, rhs = text.partition("=")
+        if choice == 0:
+            return f"{lhs.strip()} = sum({rhs.strip()}, axis=0)"
+        if choice == 1:
+            return text.replace("(", "[", 1).replace(")", "]", 1)
+        if choice == 2:
+            return f"{lhs.strip()} = {rhs.strip()} +"
+        return f"for all i: {text}"
+
+
+# ---------------------------------------------------------------------- #
+# AST rewriting helpers (module-level so tests can reuse them)
+# ---------------------------------------------------------------------- #
+def _structural_signature(program: TacoProgram) -> str:
+    """A name-insensitive signature of a program's structure.
+
+    Tensor names and index variables are replaced by their order of first
+    appearance, so two programs that differ only by renaming (exactly what
+    templatization normalises away) get the same signature.
+    """
+    tensor_ids: dict = {}
+    index_ids: dict = {}
+
+    def tensor_id(name: str) -> str:
+        return tensor_ids.setdefault(name, f"T{len(tensor_ids)}")
+
+    def index_id(name: str) -> str:
+        return index_ids.setdefault(name, f"i{len(index_ids)}")
+
+    def render(expr: Expression) -> str:
+        if isinstance(expr, TensorAccess):
+            indices = ",".join(index_id(v) for v in expr.indices)
+            return f"{tensor_id(expr.name)}({indices})"
+        if isinstance(expr, Constant):
+            return "CONST"
+        if isinstance(expr, BinaryOp):
+            return f"({render(expr.left)}{expr.op.value}{render(expr.right)})"
+        return str(expr)
+
+    lhs = f"{tensor_id(program.lhs.name)}({','.join(index_id(v) for v in program.lhs.indices)})"
+    return f"{lhs}={render(program.rhs)}"
+
+
+def _rename_index(program: TacoProgram, old: str, new: str) -> TacoProgram:
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, TensorAccess):
+            return expr.with_indices(tuple(new if v == old else v for v in expr.indices))
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        return expr
+
+    lhs = program.lhs.with_indices(
+        tuple(new if v == old else v for v in program.lhs.indices)
+    )
+    return TacoProgram(lhs, rewrite(program.rhs))
+
+
+def _rename_tensors(program: TacoProgram, mapping: dict) -> TacoProgram:
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, TensorAccess):
+            return expr.rename(mapping.get(expr.name, expr.name))
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        return expr
+
+    lhs = program.lhs.rename(mapping.get(program.lhs.name, program.lhs.name))
+    return TacoProgram(lhs, rewrite(program.rhs))
+
+
+def _replace_access(
+    program: TacoProgram, target: TensorAccess, replacement: TensorAccess
+) -> TacoProgram:
+    replaced = False
+
+    def rewrite(expr: Expression) -> Expression:
+        nonlocal replaced
+        if expr is target and not replaced:
+            replaced = True
+            return replacement
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        return expr
+
+    return TacoProgram(program.lhs, rewrite(program.rhs))
+
+
+def _replace_nth_operator(
+    expr: Expression, position: int, replacement: BinOp
+) -> Tuple[Expression, int]:
+    """Replace the *position*-th operator (pre-order) in *expr*."""
+    if isinstance(expr, BinaryOp):
+        if position == 0:
+            return BinaryOp(replacement, expr.left, expr.right), -1
+        new_left, position = _replace_nth_operator(expr.left, position - 1, replacement)
+        if position == -1:
+            return BinaryOp(expr.op, new_left, expr.right), -1
+        new_right, position = _replace_nth_operator(expr.right, position, replacement)
+        return BinaryOp(expr.op, expr.left, new_right), position
+    return expr, position
+
+
+def _parameter_names(c_source: str) -> List[str]:
+    """Best-effort extraction of parameter names from the C source text."""
+    match = re.search(r"\(([^)]*)\)", c_source)
+    if not match:
+        return []
+    names: List[str] = []
+    for piece in match.group(1).split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        token = piece.replace("*", " ").split()
+        if token:
+            names.append(token[-1].strip("[]"))
+    return names

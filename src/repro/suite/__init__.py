@@ -1,0 +1,26 @@
+"""The 77-benchmark lifting corpus (10 artificial + 67 real-world kernels)."""
+
+from .model import Benchmark, make_spec
+from .registry import (
+    REAL_WORLD_CATEGORIES,
+    all_benchmarks,
+    artificial_benchmarks,
+    benchmarks_by_category,
+    corpus_statistics,
+    get_benchmark,
+    real_world_benchmarks,
+    select,
+)
+
+__all__ = [
+    "Benchmark",
+    "make_spec",
+    "all_benchmarks",
+    "real_world_benchmarks",
+    "artificial_benchmarks",
+    "benchmarks_by_category",
+    "corpus_statistics",
+    "get_benchmark",
+    "select",
+    "REAL_WORLD_CATEGORIES",
+]

@@ -1,0 +1,44 @@
+"""The 10 artificial benchmarks.
+
+These mirror the paper's synthetic queries: small kernels written directly
+for the evaluation that cover the corners of the TACO subset (every operator,
+constants, scalar outputs, transposed accesses, 3-D tensors) rather than any
+particular legacy code base.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    constant_1d,
+    copy_1d,
+    dot_product,
+    elementwise_1d,
+    elementwise_3d,
+    matvec,
+    outer_product,
+    row_sums,
+    scalar_2d,
+    ternary_elementwise_1d,
+)
+from .model import Benchmark
+
+CATEGORY = "artificial"
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        copy_1d("artificial.copy", CATEGORY, a="in", out="res", n="len"),
+        elementwise_1d("artificial.vdiv", CATEGORY, "/", a="num", b="den", out="quot", n="len"),
+        constant_1d("artificial.add_four", CATEGORY, "+", 4, a="v", out="res", n="len"),
+        ternary_elementwise_1d(
+            "artificial.mul_add_chain", CATEGORY, "*", "+", a="p", b="q", c="r", out="res", n="len"
+        ),
+        dot_product("artificial.dot", CATEGORY, a="u", b="v", out="res", n="len"),
+        row_sums("artificial.row_sums", CATEGORY, a="grid", out="sums", n="h", m="w"),
+        scalar_2d("artificial.scale_matrix", CATEGORY, "*", a="M", alpha="factor", out="R"),
+        matvec("artificial.matvec_t", CATEGORY, a="W", x="v", out="res", transposed=True),
+        outer_product("artificial.outer", CATEGORY, a="col", b="row", out="M"),
+        elementwise_3d("artificial.tensor_sub", CATEGORY, "-", a="T1", b="T2", out="D"),
+    ]

@@ -1,0 +1,41 @@
+"""The ``blend`` category: pixel-blending kernels (12 benchmarks).
+
+Modelled on the image-compositing routines of the blend corpus used by
+C2TACO: element-wise arithmetic over flattened image buffers, scalar opacity
+factors and constant offsets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    constant_1d,
+    elementwise_1d,
+    elementwise_2d,
+    scalar_1d,
+    scalar_2d,
+    ternary_elementwise_1d,
+)
+from .model import Benchmark
+
+CATEGORY = "blend"
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        elementwise_1d("blend.add_pixels", CATEGORY, "+", a="base", b="overlay", out="blended", n="count"),
+        elementwise_1d("blend.subtract_pixels", CATEGORY, "-", a="base", b="overlay", out="blended", n="count"),
+        elementwise_1d("blend.multiply_blend", CATEGORY, "*", a="base", b="overlay", out="blended", n="count", style="pointer"),
+        elementwise_1d("blend.divide_blend", CATEGORY, "/", a="base", b="overlay", out="blended", n="count"),
+        scalar_1d("blend.dissolve", CATEGORY, "*", a="src", alpha="opacity", out="dst", n="count"),
+        scalar_1d("blend.brighten", CATEGORY, "+", a="src", alpha="bias", out="dst", n="count", style="pointer"),
+        scalar_1d("blend.attenuate", CATEGORY, "/", a="src", alpha="gain", out="dst", n="count"),
+        constant_1d("blend.double_exposure", CATEGORY, "*", 2, a="img", out="res", n="count"),
+        constant_1d("blend.lift_black_level", CATEGORY, "+", 16, a="img", out="res", n="count"),
+        elementwise_2d("blend.screen_rows", CATEGORY, "+", a="top", b="bottom", out="composite", n="height", m="width"),
+        scalar_2d("blend.fade_frame", CATEGORY, "*", a="frame", alpha="fade", out="res", n="height", m="width"),
+        ternary_elementwise_1d(
+            "blend.weighted_sum", CATEGORY, "*", "+", a="src", b="weight", c="accum", out="res", n="count"
+        ),
+    ]

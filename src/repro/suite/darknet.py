@@ -1,0 +1,44 @@
+"""The ``darknet`` category: neural-network primitives (13 benchmarks).
+
+Modelled on the tensor kernels of the darknet framework that the C2TACO
+corpus draws from: axpy/scale/bias updates, dot products, matrix products and
+element-wise activations' linear parts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    axpy_1d,
+    copy_1d,
+    dot_product,
+    elementwise_1d,
+    elementwise_3d,
+    matmul,
+    matvec,
+    scalar_1d,
+    sum_1d,
+    ttv,
+)
+from .model import Benchmark
+
+CATEGORY = "darknet"
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        copy_1d("darknet.copy_cpu", CATEGORY, a="X", out="Y", n="N", style="pointer"),
+        scalar_1d("darknet.scal_cpu", CATEGORY, "*", a="X", alpha="ALPHA", out="OUT", n="N"),
+        scalar_1d("darknet.const_add_cpu", CATEGORY, "+", a="X", alpha="ALPHA", out="OUT", n="N", style="pointer"),
+        axpy_1d("darknet.axpy_cpu", CATEGORY, a="X", b="Y", alpha="ALPHA", out="OUT", n="N"),
+        elementwise_1d("darknet.mul_cpu", CATEGORY, "*", a="X", b="Y", out="OUT", n="N"),
+        elementwise_1d("darknet.sub_cpu", CATEGORY, "-", a="pred", b="truth", out="delta", n="N"),
+        dot_product("darknet.dot_cpu", CATEGORY, a="X", b="Y", out="dot", n="N", style="pointer"),
+        sum_1d("darknet.sum_array", CATEGORY, a="a", out="sum", n="n"),
+        matvec("darknet.forward_connected", CATEGORY, a="weights", x="input", out="output", n="outputs", m="inputs"),
+        matmul("darknet.gemm_nn", CATEGORY, a="A", b="B", out="C", n="M", m="N", k="K"),
+        elementwise_3d("darknet.shortcut_layer", CATEGORY, "+", a="add", b="feat", out="out", n="c", m="h", k="w"),
+        ttv("darknet.weighted_channels", CATEGORY, t="feat", v="weights", out="out", n="c", m="h", k="w"),
+        elementwise_1d("darknet.scale_mask", CATEGORY, "/", a="delta", b="scale", out="out", n="N"),
+    ]

@@ -1,0 +1,42 @@
+"""The ``dsp`` category: UTDSP-style signal-processing kernels (12 benchmarks).
+
+Modelled on the UTDSP suite the C2TACO corpus draws from: pointer-walked
+vector arithmetic, dot products, matrix products and energy/sum reductions,
+written in the heavily pointer-based style typical of DSP code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    dot_product,
+    elementwise_1d,
+    elementwise_2d,
+    matmul,
+    matvec,
+    scalar_1d,
+    sum_1d,
+    sum_2d,
+    ternary_elementwise_1d,
+)
+from .model import Benchmark
+
+CATEGORY = "dsp"
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        elementwise_1d("dsp.vec_add", CATEGORY, "+", a="sig_a", b="sig_b", out="sig_out", n="len", style="pointer"),
+        elementwise_1d("dsp.vec_sub", CATEGORY, "-", a="sig_a", b="sig_b", out="sig_out", n="len", style="pointer"),
+        elementwise_1d("dsp.vec_mult", CATEGORY, "*", a="sig_a", b="sig_b", out="sig_out", n="len", style="pointer"),
+        scalar_1d("dsp.gain", CATEGORY, "*", a="sig", alpha="gain", out="sig_out", n="len", style="pointer"),
+        scalar_1d("dsp.normalize", CATEGORY, "/", a="sig", alpha="norm", out="sig_out", n="len"),
+        dot_product("dsp.mac", CATEGORY, a="coeff", b="sample", out="acc", n="taps", style="pointer"),
+        sum_1d("dsp.signal_sum", CATEGORY, a="sig", out="total", n="len", style="pointer"),
+        sum_2d("dsp.frame_energy_sum", CATEGORY, a="frame", out="total", n="rows", m="cols"),
+        matvec("dsp.mat_vec_mult", CATEGORY, a="mat", x="vec", out="res", n="rows", m="cols", style="pointer"),
+        matmul("dsp.mat_mult", CATEGORY, a="A", b="B", out="C", n="R", m="C_", k="Kdim"),
+        elementwise_2d("dsp.frame_diff", CATEGORY, "-", a="cur", b="prev", out="diff", n="rows", m="cols"),
+        ternary_elementwise_1d("dsp.scaled_residual", CATEGORY, "-", "*", a="sig", b="est", c="win", out="res", n="len"),
+    ]

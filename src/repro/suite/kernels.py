@@ -1,0 +1,683 @@
+"""Parametric C kernel builders used to construct the benchmark corpus.
+
+The original evaluation corpus (61 kernels collected by the C2TACO authors
+from the blend, darknet, UTDSP, mathfu and simpl_array code bases, plus 6
+kernels from llama2.cpp and 10 artificial ones) is not redistributed with the
+paper, so this module rebuilds an equivalent corpus: every builder produces a
+real C kernel in one of the coding styles found in those code bases
+(plain subscripts, linearised 2-D accesses, explicit pointer walking), along
+with its ground-truth TACO expression, input specification and a NumPy
+reference implementation.
+
+Builders return :class:`repro.suite.model.Benchmark` instances; the corpus
+modules (``blend.py``, ``darknet.py``, ...) call them with corpus-specific
+argument names so that the resulting kernels read like their namesakes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .model import Benchmark, make_spec
+
+#: C binary operator spellings for the four TACO operators.
+_OPS = {"+": "+", "-": "-", "*": "*", "/": "/"}
+
+#: NumPy implementations of the four operators.
+_NP_OPS: Dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+def _op_name(op: str) -> str:
+    return {"+": "add", "-": "sub", "*": "mul", "/": "div"}[op]
+
+
+# ---------------------------------------------------------------------- #
+# 1-D element-wise kernels
+# ---------------------------------------------------------------------- #
+def elementwise_1d(
+    name: str,
+    category: str,
+    op: str,
+    a: str = "a",
+    b: str = "b",
+    out: str = "out",
+    n: str = "n",
+    style: str = "subscript",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = a[i] op b[i]`` in subscript or pointer style."""
+    if style == "pointer":
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    {scalar_type} *pa = {a};
+    {scalar_type} *pb = {b};
+    {scalar_type} *po = {out};
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        *po++ = *pa++ {op} *pb++;
+    }}
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = {a}[i] {op} {b}[i];
+    }}
+}}
+"""
+    reference = lambda args: _NP_OPS[op](args[a], args[b])  # noqa: E731
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=f"a(i) = b(i) {op} c(i)",
+        spec=make_spec({n: 6}, {a: (n,), b: (n,), out: (n,)}, avoid_zero=(op == "/")),
+        reference=reference,
+        description=f"1-D element-wise {_op_name(op)} ({style} style)",
+        divides_by_input=(op == "/"),
+    )
+
+
+def scalar_1d(
+    name: str,
+    category: str,
+    op: str,
+    scalar_first: bool = False,
+    a: str = "x",
+    alpha: str = "alpha",
+    out: str = "out",
+    n: str = "n",
+    style: str = "subscript",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = x[i] op alpha`` (or ``alpha op x[i]``) with a scalar argument."""
+    lhs_expr = f"{alpha} {op} {a}[i]" if scalar_first else f"{a}[i] {op} {alpha}"
+    if style == "pointer":
+        body = f"""
+void kernel(int {n}, {scalar_type} {alpha}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    {scalar_type} *px = {a};
+    {scalar_type} *po = {out};
+    for (int i = 0; i < {n}; i++) {{
+        *po = {'(' + alpha + f' {op} *px)' if scalar_first else f'(*px {op} ' + alpha + ')'};
+        po++;
+        px++;
+    }}
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, {scalar_type} {alpha}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = {lhs_expr};
+    }}
+}}
+"""
+    truth = f"a(i) = c {op} b(i)" if scalar_first else f"a(i) = b(i) {op} c"
+    reference = (
+        (lambda args: _NP_OPS[op](args[alpha], args[a]))
+        if scalar_first
+        else (lambda args: _NP_OPS[op](args[a], args[alpha]))
+    )
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=truth,
+        spec=make_spec(
+            {n: 6},
+            {a: (n,), out: (n,)},
+            {alpha: (1, 5)},
+            avoid_zero=(op == "/" and scalar_first),
+        ),
+        reference=reference,
+        description=f"1-D scalar {_op_name(op)} ({'scalar first' if scalar_first else 'scalar last'})",
+        divides_by_input=(op == "/" and not scalar_first),
+    )
+
+
+def constant_1d(
+    name: str,
+    category: str,
+    op: str,
+    constant: int,
+    a: str = "x",
+    out: str = "out",
+    n: str = "n",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = x[i] op constant`` with a literal constant."""
+    body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = {a}[i] {op} {constant};
+    }}
+}}
+"""
+    reference = lambda args: _NP_OPS[op](args[a], constant)  # noqa: E731
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=f"a(i) = b(i) {op} Const",
+        spec=make_spec({n: 6}, {a: (n,), out: (n,)}),
+        reference=reference,
+        description=f"1-D constant {_op_name(op)} by {constant}",
+    )
+
+
+def copy_1d(
+    name: str, category: str, a: str = "src", out: str = "dst", n: str = "n",
+    style: str = "subscript", scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = a[i]`` — the simplest lift."""
+    if style == "pointer":
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    {scalar_type} *ps = {a};
+    {scalar_type} *pd = {out};
+    int i = 0;
+    while (i < {n}) {{
+        *pd++ = *ps++;
+        i++;
+    }}
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = {a}[i];
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a(i) = b(i)",
+        spec=make_spec({n: 6}, {a: (n,), out: (n,)}),
+        reference=lambda args: np.array(args[a]),
+        description=f"1-D copy ({style} style)",
+    )
+
+
+def axpy_1d(
+    name: str,
+    category: str,
+    use_constant: Optional[int] = None,
+    a: str = "x",
+    b: str = "y",
+    alpha: str = "alpha",
+    out: str = "out",
+    n: str = "n",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = alpha*x[i] + y[i]`` (or with a literal constant)."""
+    if use_constant is None:
+        params = f"int {n}, {scalar_type} {alpha}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}"
+        expr = f"{alpha} * {a}[i] + {b}[i]"
+        truth = "a(i) = c * b(i) + d(i)"
+        spec = make_spec({n: 6}, {a: (n,), b: (n,), out: (n,)}, {alpha: (1, 5)})
+        reference = lambda args: args[alpha] * np.asarray(args[a]) + np.asarray(args[b])  # noqa: E731
+        description = "axpy: scalar * x + y"
+    else:
+        params = f"int {n}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}"
+        expr = f"{use_constant} * {a}[i] + {b}[i]"
+        truth = "a(i) = Const * b(i) + c(i)"
+        spec = make_spec({n: 6}, {a: (n,), b: (n,), out: (n,)})
+        reference = lambda args: use_constant * np.asarray(args[a]) + np.asarray(args[b])  # noqa: E731
+        description = f"axpy with literal constant {use_constant}"
+    body = f"""
+void kernel({params}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = {expr};
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=truth,
+        spec=spec,
+        reference=reference,
+        description=description,
+        beyond_template_library=True,
+    )
+
+
+def ternary_elementwise_1d(
+    name: str,
+    category: str,
+    op1: str,
+    op2: str,
+    a: str = "x",
+    b: str = "y",
+    c: str = "z",
+    out: str = "out",
+    n: str = "n",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = x[i] op1 y[i] op2 z[i]`` — three-operand chains."""
+    body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{c}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = {a}[i] {op1} {b}[i] {op2} {c}[i];
+    }}
+}}
+"""
+    precedence = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+    def reference(args, _a=a, _b=b, _c=c, _op1=op1, _op2=op2):
+        x, y, z = (np.asarray(args[_a]), np.asarray(args[_b]), np.asarray(args[_c]))
+        if precedence[_op1] >= precedence[_op2]:
+            return _NP_OPS[_op2](_NP_OPS[_op1](x, y), z)
+        return _NP_OPS[_op1](x, _NP_OPS[_op2](y, z))
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=f"a(i) = b(i) {op1} c(i) {op2} d(i)",
+        spec=make_spec(
+            {n: 6}, {a: (n,), b: (n,), c: (n,), out: (n,)}, avoid_zero=("/" in (op1, op2))
+        ),
+        reference=reference,
+        description=f"1-D chain: {_op_name(op1)} then {_op_name(op2)}",
+        divides_by_input=("/" in (op1, op2)),
+        beyond_template_library=True,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Reductions
+# ---------------------------------------------------------------------- #
+def sum_1d(
+    name: str, category: str, a: str = "x", out: str = "out", n: str = "n",
+    style: str = "accumulator", scalar_type: str = "float",
+) -> Benchmark:
+    """``*out = sum_i x[i]``."""
+    if style == "pointer":
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    {scalar_type} *p = {a};
+    *{out} = 0;
+    for (int i = 0; i < {n}; i++) {{
+        *{out} += *p++;
+    }}
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    {scalar_type} acc0 = 0;
+    for (int i = 0; i < {n}; i++) {{
+        acc0 += {a}[i];
+    }}
+    *{out} = acc0;
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a = b(i)",
+        spec=make_spec({n: 6}, {a: (n,), out: ()}),
+        reference=lambda args: np.asarray(args[a]).sum(),
+        description=f"sum reduction ({style})",
+    )
+
+
+def dot_product(
+    name: str, category: str, a: str = "x", b: str = "y", out: str = "out",
+    n: str = "n", style: str = "subscript", scalar_type: str = "float",
+) -> Benchmark:
+    """``*out = sum_i x[i]*y[i]``."""
+    if style == "pointer":
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    {scalar_type} *pa = {a};
+    {scalar_type} *pb = {b};
+    {scalar_type} acc0 = 0;
+    for (int i = 0; i < {n}; i++) {{
+        acc0 += *pa++ * *pb++;
+    }}
+    *{out} = acc0;
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    *{out} = 0;
+    for (int i = 0; i < {n}; i++) {{
+        *{out} += {a}[i] * {b}[i];
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a = b(i) * c(i)",
+        spec=make_spec({n: 6}, {a: (n,), b: (n,), out: ()}),
+        reference=lambda args: (np.asarray(args[a]) * np.asarray(args[b])).sum(),
+        description=f"dot product ({style})",
+    )
+
+
+def sum_2d(
+    name: str, category: str, a: str = "m", out: str = "out",
+    n: str = "rows", m: str = "cols", scalar_type: str = "float",
+) -> Benchmark:
+    """``*out = sum_ij m[i,j]`` over a linearised 2-D array."""
+    body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    {scalar_type} acc0 = 0;
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            acc0 += {a}[i * {m} + j];
+        }}
+    }}
+    *{out} = acc0;
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a = b(i,j)",
+        spec=make_spec({n: 4, m: 3}, {a: (n, m), out: ()}),
+        reference=lambda args: np.asarray(args[a]).sum(),
+        description="2-D full reduction",
+    )
+
+
+def row_sums(
+    name: str, category: str, a: str = "m", out: str = "out",
+    n: str = "rows", m: str = "cols", scalar_type: str = "float",
+) -> Benchmark:
+    """``out[i] = sum_j m[i,j]``."""
+    body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = 0;
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i] += {a}[i * {m} + j];
+        }}
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a(i) = b(i,j)",
+        spec=make_spec({n: 4, m: 3}, {a: (n, m), out: (n,)}),
+        reference=lambda args: np.asarray(args[a]).sum(axis=1),
+        description="row-wise reduction of a matrix",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# 2-D element-wise kernels
+# ---------------------------------------------------------------------- #
+def elementwise_2d(
+    name: str,
+    category: str,
+    op: str,
+    a: str = "A",
+    b: str = "B",
+    out: str = "C",
+    n: str = "rows",
+    m: str = "cols",
+    style: str = "linearized",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``C[i,j] = A[i,j] op B[i,j]`` over linearised or flat-loop accesses."""
+    if style == "flat":
+        body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    int total = {n} * {m};
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            int idx = i * {m} + j;
+            {out}[idx] = {a}[idx] {op} {b}[idx];
+        }}
+    }}
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i * {m} + j] = {a}[i * {m} + j] {op} {b}[i * {m} + j];
+        }}
+    }}
+}}
+"""
+    reference = lambda args: _NP_OPS[op](np.asarray(args[a]), np.asarray(args[b]))  # noqa: E731
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=f"a(i,j) = b(i,j) {op} c(i,j)",
+        spec=make_spec(
+            {n: 4, m: 3}, {a: (n, m), b: (n, m), out: (n, m)}, avoid_zero=(op == "/")
+        ),
+        reference=reference,
+        description=f"2-D element-wise {_op_name(op)}",
+        divides_by_input=(op == "/"),
+    )
+
+
+def scalar_2d(
+    name: str,
+    category: str,
+    op: str,
+    a: str = "A",
+    alpha: str = "s",
+    out: str = "B",
+    n: str = "rows",
+    m: str = "cols",
+    scalar_type: str = "float",
+) -> Benchmark:
+    """``B[i,j] = A[i,j] op s``."""
+    body = f"""
+void kernel(int {n}, int {m}, {scalar_type} {alpha}, {scalar_type} *{a}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i * {m} + j] = {a}[i * {m} + j] {op} {alpha};
+        }}
+    }}
+}}
+"""
+    reference = lambda args: _NP_OPS[op](np.asarray(args[a]), args[alpha])  # noqa: E731
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=f"a(i,j) = b(i,j) {op} c",
+        spec=make_spec({n: 4, m: 3}, {a: (n, m), out: (n, m)}, {alpha: (1, 5)}),
+        reference=reference,
+        description=f"2-D scalar {_op_name(op)}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Contractions
+# ---------------------------------------------------------------------- #
+def matvec(
+    name: str, category: str, a: str = "A", x: str = "x", out: str = "y",
+    n: str = "rows", m: str = "cols", style: str = "subscript",
+    transposed: bool = False, scalar_type: str = "float",
+) -> Benchmark:
+    """``y[i] = sum_j A[i,j]*x[j]`` (or the transposed access)."""
+    access = f"{a}[j * {n} + i]" if transposed else f"{a}[i * {m} + j]"
+    if style == "pointer" and not transposed:
+        body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{x}, {scalar_type} *{out}) {{
+    {scalar_type} *pa = {a};
+    {scalar_type} *py = {out};
+    for (int i = 0; i < {n}; i++) {{
+        {scalar_type} *px = &{x}[0];
+        *py = 0;
+        for (int j = 0; j < {m}; j++) {{
+            *py += *pa++ * *px++;
+        }}
+        py++;
+    }}
+}}
+"""
+    else:
+        body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{x}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        {out}[i] = 0;
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i] += {access} * {x}[j];
+        }}
+    }}
+}}
+"""
+    truth = "a(i) = b(j,i) * c(j)" if transposed else "a(i) = b(i,j) * c(j)"
+    if transposed:
+        spec = make_spec({n: 4, m: 3}, {a: (m, n), x: (m,), out: (n,)})
+        reference = lambda args: np.asarray(args[a]).T @ np.asarray(args[x])  # noqa: E731
+    else:
+        spec = make_spec({n: 4, m: 3}, {a: (n, m), x: (m,), out: (n,)})
+        reference = lambda args: np.asarray(args[a]) @ np.asarray(args[x])  # noqa: E731
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=truth,
+        spec=spec,
+        reference=reference,
+        description=("transposed " if transposed else "") + f"matrix-vector product ({style})",
+    )
+
+
+def matmul(
+    name: str, category: str, a: str = "A", b: str = "B", out: str = "C",
+    n: str = "N", m: str = "M", k: str = "K", scalar_type: str = "float",
+) -> Benchmark:
+    """``C[i,j] = sum_k A[i,k]*B[k,j]``."""
+    body = f"""
+void kernel(int {n}, int {m}, int {k}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i * {m} + j] = 0;
+            for (int p = 0; p < {k}; p++) {{
+                {out}[i * {m} + j] += {a}[i * {k} + p] * {b}[p * {m} + j];
+            }}
+        }}
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a(i,j) = b(i,k) * c(k,j)",
+        spec=make_spec({n: 3, m: 4, k: 2}, {a: (n, k), b: (k, m), out: (n, m)}),
+        reference=lambda args: np.asarray(args[a]) @ np.asarray(args[b]),
+        description="dense matrix-matrix product",
+    )
+
+
+def outer_product(
+    name: str, category: str, a: str = "u", b: str = "v", out: str = "M",
+    n: str = "rows", m: str = "cols", scalar_type: str = "float",
+) -> Benchmark:
+    """``M[i,j] = u[i]*v[j]``."""
+    body = f"""
+void kernel(int {n}, int {m}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i * {m} + j] = {a}[i] * {b}[j];
+        }}
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a(i,j) = b(i) * c(j)",
+        spec=make_spec({n: 4, m: 3}, {a: (n,), b: (m,), out: (n, m)}),
+        reference=lambda args: np.outer(args[a], args[b]),
+        description="vector outer product",
+        beyond_template_library=True,
+    )
+
+
+def ttv(
+    name: str, category: str, t: str = "T", v: str = "v", out: str = "M",
+    n: str = "d0", m: str = "d1", k: str = "d2", scalar_type: str = "float",
+) -> Benchmark:
+    """Tensor-times-vector: ``M[i,j] = sum_k T[i,j,k]*v[k]``."""
+    body = f"""
+void kernel(int {n}, int {m}, int {k}, {scalar_type} *{t}, {scalar_type} *{v}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            {out}[i * {m} + j] = 0;
+            for (int p = 0; p < {k}; p++) {{
+                {out}[i * {m} + j] += {t}[(i * {m} + j) * {k} + p] * {v}[p];
+            }}
+        }}
+    }}
+}}
+"""
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth="a(i,j) = b(i,j,k) * c(k)",
+        spec=make_spec({n: 3, m: 2, k: 3}, {t: (n, m, k), v: (k,), out: (n, m)}),
+        reference=lambda args: np.einsum("ijk,k->ij", np.asarray(args[t]), np.asarray(args[v])),
+        description="3-D tensor times vector",
+        beyond_template_library=True,
+    )
+
+
+def elementwise_3d(
+    name: str, category: str, op: str, a: str = "X", b: str = "Y", out: str = "Z",
+    n: str = "d0", m: str = "d1", k: str = "d2", scalar_type: str = "float",
+) -> Benchmark:
+    """``Z[i,j,k] = X[i,j,k] op Y[i,j,k]``."""
+    body = f"""
+void kernel(int {n}, int {m}, int {k}, {scalar_type} *{a}, {scalar_type} *{b}, {scalar_type} *{out}) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {m}; j++) {{
+            for (int p = 0; p < {k}; p++) {{
+                int idx = (i * {m} + j) * {k} + p;
+                {out}[idx] = {a}[idx] {op} {b}[idx];
+            }}
+        }}
+    }}
+}}
+"""
+    reference = lambda args: _NP_OPS[op](np.asarray(args[a]), np.asarray(args[b]))  # noqa: E731
+    return Benchmark(
+        name=name,
+        category=category,
+        c_source=body,
+        ground_truth=f"a(i,j,k) = b(i,j,k) {op} c(i,j,k)",
+        spec=make_spec(
+            {n: 3, m: 2, k: 2},
+            {a: (n, m, k), b: (n, m, k), out: (n, m, k)},
+            avoid_zero=(op == "/"),
+        ),
+        reference=reference,
+        description=f"3-D element-wise {_op_name(op)}",
+        divides_by_input=(op == "/"),
+        beyond_template_library=True,
+    )

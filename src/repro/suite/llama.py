@@ -1,0 +1,75 @@
+"""The ``llama`` category: kernels from llama2.cpp-style inference (6 benchmarks).
+
+The paper adds six queries taken from the C++ inference code of Llama
+(llama2.cpp).  The same computational shapes are reproduced here: the
+sum-of-squares accumulation and the scaling step of RMSNorm, the projection
+matmul, the SwiGLU element-wise product, the residual connection, and the
+logit temperature scaling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .kernels import elementwise_1d, matvec, scalar_1d
+from .model import Benchmark, make_spec
+
+CATEGORY = "llama"
+
+
+def _rmsnorm_sum_of_squares() -> Benchmark:
+    source = """
+void rmsnorm_ss(int size, float *x, float *ss) {
+    float acc = 0.0;
+    for (int j = 0; j < size; j++) {
+        acc += x[j] * x[j];
+    }
+    *ss = acc;
+}
+"""
+    return Benchmark(
+        name="llama.rmsnorm_sum_squares",
+        category=CATEGORY,
+        c_source=source,
+        ground_truth="a = b(i) * b(i)",
+        spec=make_spec({"size": 6}, {"x": ("size",), "ss": ()}),
+        reference=lambda args: (np.asarray(args["x"]) ** 2).sum(),
+        description="RMSNorm: sum of squares accumulation",
+    )
+
+
+def _rmsnorm_scale() -> Benchmark:
+    source = """
+void rmsnorm_scale(int size, float inv_rms, float *weight, float *x, float *out) {
+    for (int j = 0; j < size; j++) {
+        out[j] = weight[j] * (inv_rms * x[j]);
+    }
+}
+"""
+    return Benchmark(
+        name="llama.rmsnorm_scale",
+        category=CATEGORY,
+        c_source=source,
+        ground_truth="a(i) = b(i) * c * d(i)",
+        spec=make_spec(
+            {"size": 6},
+            {"weight": ("size",), "x": ("size",), "out": ("size",)},
+            {"inv_rms": (1, 5)},
+        ),
+        reference=lambda args: np.asarray(args["weight"]) * args["inv_rms"] * np.asarray(args["x"]),
+        description="RMSNorm: weight * (inv_rms * x)",
+        beyond_template_library=True,
+    )
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        _rmsnorm_sum_of_squares(),
+        _rmsnorm_scale(),
+        matvec("llama.matmul_projection", CATEGORY, a="w", x="x", out="xout", n="d", m="n_in"),
+        elementwise_1d("llama.swiglu_gate", CATEGORY, "*", a="hb", b="hb2", out="gated", n="hidden_dim"),
+        elementwise_1d("llama.residual_add", CATEGORY, "+", a="x", b="xb", out="x_out", n="dim"),
+        scalar_1d("llama.logit_temperature", CATEGORY, "/", a="logits", alpha="temperature", out="scaled", n="vocab"),
+    ]

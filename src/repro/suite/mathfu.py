@@ -1,0 +1,42 @@
+"""The ``mathfu`` category: game-math vector/matrix kernels (12 benchmarks).
+
+Modelled on the mathfu-style routines in the C2TACO corpus: small vector and
+matrix helpers (component-wise arithmetic, scaling, dot products, outer
+products, matrix application).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    constant_1d,
+    dot_product,
+    elementwise_1d,
+    elementwise_2d,
+    matmul,
+    matvec,
+    outer_product,
+    scalar_1d,
+    scalar_2d,
+)
+from .model import Benchmark
+
+CATEGORY = "mathfu"
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        elementwise_1d("mathfu.vector_add", CATEGORY, "+", a="v1", b="v2", out="res", n="d"),
+        elementwise_1d("mathfu.vector_sub", CATEGORY, "-", a="v1", b="v2", out="res", n="d"),
+        elementwise_1d("mathfu.hadamard", CATEGORY, "*", a="v1", b="v2", out="res", n="d"),
+        elementwise_1d("mathfu.vector_div", CATEGORY, "/", a="v1", b="v2", out="res", n="d"),
+        scalar_1d("mathfu.vector_scale", CATEGORY, "*", a="v", alpha="s", out="res", n="d"),
+        scalar_1d("mathfu.vector_offset", CATEGORY, "-", a="v", alpha="s", out="res", n="d"),
+        constant_1d("mathfu.halve", CATEGORY, "/", 2, a="v", out="res", n="d"),
+        dot_product("mathfu.dot", CATEGORY, a="v1", b="v2", out="res", n="d"),
+        outer_product("mathfu.outer_product", CATEGORY, a="col", b="row", out="M", n="rows", m="cols"),
+        matvec("mathfu.mat_apply", CATEGORY, a="M", x="v", out="res", n="rows", m="cols"),
+        matmul("mathfu.mat_mul", CATEGORY, a="lhs", b="rhs", out="res", n="R1", m="C2", k="C1"),
+        elementwise_2d("mathfu.mat_add", CATEGORY, "+", a="m1", b="m2", out="res", n="rows", m="cols"),
+    ]

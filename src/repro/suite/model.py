@@ -1,0 +1,97 @@
+"""The benchmark model: one legacy kernel with everything needed to lift it.
+
+A :class:`Benchmark` wraps a :class:`repro.core.task.LiftingTask` with the
+corpus metadata the evaluation uses (category, provenance, difficulty
+features) and with a NumPy reference implementation used by the test suite to
+cross-check both the C interpreter and the ground-truth TACO expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.task import InputSpec, LiftingTask
+
+#: A NumPy reference: maps named inputs to the expected output array/scalar.
+ReferenceFn = Callable[[Dict[str, np.ndarray]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One corpus entry."""
+
+    #: Unique name, ``<category>.<kernel>`` (e.g. ``"blend.dot_product"``).
+    name: str
+    #: Corpus category: ``artificial``, ``blend``, ``darknet``, ``dsp``,
+    #: ``mathfu``, ``simpl_array`` or ``llama``.
+    category: str
+    #: The legacy C source of the kernel.
+    c_source: str
+    #: Ground-truth TACO expression over symbolic tensors (``a``, ``b``, ...).
+    ground_truth: str
+    #: Input specification (shapes / ranges) used to exercise the kernel.
+    spec: InputSpec
+    #: NumPy reference implementation (inputs by argument name -> output).
+    reference: Optional[ReferenceFn] = None
+    #: Free-form description shown in reports.
+    description: str = ""
+    #: Whether the kernel divides by an input (I/O generation avoids zeros).
+    divides_by_input: bool = False
+    #: Marks kernels whose shape falls outside the Tenspiler-style template
+    #: library (used only for corpus statistics, not by any lifter).
+    beyond_template_library: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def task(self, with_reference: bool = True) -> LiftingTask:
+        """The lifting task for this benchmark.
+
+        ``with_reference`` controls whether the ground truth is attached (the
+        synthetic oracle needs it; a recorded/hosted oracle does not).
+        """
+        return LiftingTask(
+            name=self.name,
+            c_source=self.c_source,
+            spec=self.spec,
+            reference_solution=self.ground_truth if with_reference else None,
+            category=self.category,
+            description=self.description,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structural features (used by tests and corpus statistics)
+    # ------------------------------------------------------------------ #
+    def ground_truth_program(self):
+        from ..taco import parse_program
+
+        return parse_program(self.ground_truth)
+
+    def num_operands(self) -> int:
+        program = self.ground_truth_program()
+        return len(program.rhs.tensors()) + len(program.rhs.constants())
+
+    def max_rank(self) -> int:
+        program = self.ground_truth_program()
+        return max((access.rank for access in program.tensors()), default=0)
+
+    def is_real_world(self) -> bool:
+        return self.category != "artificial"
+
+
+def make_spec(
+    sizes: Mapping[str, int],
+    arrays: Mapping[str, Tuple],
+    scalars: Optional[Mapping[str, Tuple[int, int]]] = None,
+    avoid_zero: bool = False,
+) -> InputSpec:
+    """Small convenience wrapper used by the corpus modules."""
+    return InputSpec(
+        sizes=dict(sizes),
+        arrays=dict(arrays),
+        scalars=dict(scalars or {}),
+        avoid_zero=avoid_zero,
+    )

@@ -1,0 +1,101 @@
+"""The benchmark registry: the full 77-query corpus and helpers to slice it.
+
+The evaluation of the paper uses:
+
+* the **real-world set** — 67 kernels (61 from the literature corpora plus 6
+  from llama2.cpp), and
+* the **full set** — the real-world set plus 10 artificial kernels (77 total).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from . import artificial, blend, darknet, dsp, llama, mathfu, simpl_array
+from .model import Benchmark
+
+#: Corpus modules, in presentation order.
+_CATEGORY_MODULES = (blend, darknet, dsp, mathfu, simpl_array, llama, artificial)
+
+#: Names of the real-world categories (everything except ``artificial``).
+REAL_WORLD_CATEGORIES = ("blend", "darknet", "dsp", "mathfu", "simpl_array", "llama")
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """The full 77-benchmark corpus, in a stable order."""
+    corpus: List[Benchmark] = []
+    for module in _CATEGORY_MODULES:
+        corpus.extend(module.benchmarks())
+    _check_unique_names(corpus)
+    return corpus
+
+
+def real_world_benchmarks() -> List[Benchmark]:
+    """The 67 real-world benchmarks (everything except the artificial set)."""
+    return [b for b in all_benchmarks() if b.category != "artificial"]
+
+
+def artificial_benchmarks() -> List[Benchmark]:
+    """The 10 artificial benchmarks."""
+    return [b for b in all_benchmarks() if b.category == "artificial"]
+
+
+def benchmarks_by_category() -> Dict[str, List[Benchmark]]:
+    """The corpus grouped by category."""
+    grouped: Dict[str, List[Benchmark]] = {}
+    for benchmark in all_benchmarks():
+        grouped.setdefault(benchmark.category, []).append(benchmark)
+    return grouped
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up one benchmark by its fully qualified name."""
+    for benchmark in all_benchmarks():
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"no benchmark named {name!r}")
+
+
+def select(
+    names: Optional[Sequence[str]] = None,
+    categories: Optional[Sequence[str]] = None,
+    real_world_only: bool = False,
+    limit: Optional[int] = None,
+) -> List[Benchmark]:
+    """Flexible corpus slicing used by the examples and the bench harness."""
+    corpus = all_benchmarks()
+    if names is not None:
+        wanted = set(names)
+        corpus = [b for b in corpus if b.name in wanted]
+    if categories is not None:
+        wanted_categories = set(categories)
+        corpus = [b for b in corpus if b.category in wanted_categories]
+    if real_world_only:
+        corpus = [b for b in corpus if b.is_real_world()]
+    if limit is not None:
+        corpus = corpus[:limit]
+    return corpus
+
+
+def corpus_statistics() -> Dict[str, object]:
+    """Summary statistics of the corpus (used in reports and tests)."""
+    corpus = all_benchmarks()
+    by_category = {
+        category: len(group) for category, group in benchmarks_by_category().items()
+    }
+    return {
+        "total": len(corpus),
+        "real_world": len(real_world_benchmarks()),
+        "artificial": len(artificial_benchmarks()),
+        "by_category": by_category,
+        "max_rank": max(b.max_rank() for b in corpus),
+        "beyond_template_library": sum(1 for b in corpus if b.beyond_template_library),
+    }
+
+
+def _check_unique_names(corpus: Sequence[Benchmark]) -> None:
+    seen: Dict[str, Benchmark] = {}
+    for benchmark in corpus:
+        if benchmark.name in seen:
+            raise ValueError(f"duplicate benchmark name {benchmark.name!r}")
+        seen[benchmark.name] = benchmark

@@ -1,0 +1,45 @@
+"""The ``simpl_array`` category: simple array utility kernels (12 benchmarks).
+
+Modelled on the simpl_array portion of the C2TACO corpus: the bread-and-butter
+array helpers found in scientific utility libraries (copies, fills with
+arithmetic, running sums, scaling), written mostly with plain subscripts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    constant_1d,
+    copy_1d,
+    elementwise_1d,
+    elementwise_2d,
+    row_sums,
+    scalar_1d,
+    scalar_2d,
+    sum_1d,
+    sum_2d,
+    ternary_elementwise_1d,
+)
+from .model import Benchmark
+
+CATEGORY = "simpl_array"
+
+
+def benchmarks() -> List[Benchmark]:
+    return [
+        copy_1d("simpl_array.array_copy", CATEGORY, a="src", out="dest", n="size"),
+        elementwise_1d("simpl_array.array_sum_elts", CATEGORY, "+", a="arr1", b="arr2", out="res", n="size"),
+        elementwise_1d("simpl_array.array_diff", CATEGORY, "-", a="arr1", b="arr2", out="res", n="size"),
+        elementwise_1d("simpl_array.array_prod_elts", CATEGORY, "*", a="arr1", b="arr2", out="res", n="size", style="pointer"),
+        scalar_1d("simpl_array.array_scale", CATEGORY, "*", a="arr", alpha="factor", out="res", n="size"),
+        scalar_1d("simpl_array.array_shift", CATEGORY, "+", a="arr", alpha="offset", out="res", n="size"),
+        constant_1d("simpl_array.array_increment", CATEGORY, "+", 1, a="arr", out="res", n="size"),
+        constant_1d("simpl_array.array_triple", CATEGORY, "*", 3, a="arr", out="res", n="size"),
+        sum_1d("simpl_array.array_total", CATEGORY, a="arr", out="total", n="size"),
+        sum_2d("simpl_array.matrix_total", CATEGORY, a="mat", out="total", n="rows", m="cols"),
+        row_sums("simpl_array.matrix_row_totals", CATEGORY, a="mat", out="totals", n="rows", m="cols"),
+        ternary_elementwise_1d(
+            "simpl_array.sum_three", CATEGORY, "+", "+", a="arr1", b="arr2", c="arr3", out="res", n="size"
+        ),
+    ]

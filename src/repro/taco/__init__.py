@@ -1,0 +1,73 @@
+"""TACO tensor-index DSL substrate: AST, parser, evaluator and code generators.
+
+This package stands in for the TACO compiler in the STAGG pipeline: it
+defines the candidate language (Figure 5 of the paper), executes candidate
+programs on concrete inputs for I/O-example validation, and lowers programs
+to C / NumPy source for inspection.
+"""
+
+from .ast import (
+    BinOp,
+    BinaryOp,
+    Constant,
+    Expression,
+    SymbolicConstant,
+    TacoProgram,
+    TensorAccess,
+    UnaryOp,
+    contains_symbolic_constant,
+    walk,
+)
+from .errors import TacoError, TacoEvaluationError, TacoSyntaxError, TacoTypeError
+from .evaluator import TacoEvaluator, evaluate
+from .grammar import (
+    CANONICAL_INDEX_VARIABLES,
+    CANONICAL_TENSOR_NAMES,
+    CONST_TOKEN,
+    OPERATOR_TOKENS,
+    TACO_EBNF,
+    base_token_grammar,
+    tensor_tokens_for,
+)
+from .lexer import Token, TokenKind, tokenize
+from .parser import is_valid_program, parse_expression, parse_program
+from .printer import from_tokens, tensor_token, to_source, to_tokens
+from .codegen import to_c_source, to_numpy_source
+
+__all__ = [
+    "BinOp",
+    "BinaryOp",
+    "Constant",
+    "Expression",
+    "SymbolicConstant",
+    "TacoProgram",
+    "TensorAccess",
+    "UnaryOp",
+    "walk",
+    "contains_symbolic_constant",
+    "TacoError",
+    "TacoSyntaxError",
+    "TacoTypeError",
+    "TacoEvaluationError",
+    "TacoEvaluator",
+    "evaluate",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_program",
+    "parse_expression",
+    "is_valid_program",
+    "to_source",
+    "to_tokens",
+    "from_tokens",
+    "tensor_token",
+    "to_c_source",
+    "to_numpy_source",
+    "TACO_EBNF",
+    "CANONICAL_INDEX_VARIABLES",
+    "CANONICAL_TENSOR_NAMES",
+    "OPERATOR_TOKENS",
+    "CONST_TOKEN",
+    "base_token_grammar",
+    "tensor_tokens_for",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the TACO front end and evaluator."""
+
+from __future__ import annotations
+
+
+class TacoError(Exception):
+    """Base class for all TACO-related errors."""
+
+
+class TacoSyntaxError(TacoError):
+    """Raised when a TACO expression cannot be tokenized or parsed.
+
+    The STAGG pipeline treats these as "syntactically incorrect LLM
+    candidates" and silently discards the offending candidate (Section 4).
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class TacoTypeError(TacoError):
+    """Raised when an expression is structurally valid but semantically ill-formed.
+
+    Examples: an index variable used with inconsistent extents, a tensor
+    bound to a value whose rank does not match its access, or a program whose
+    left-hand side repeats an index variable.
+    """
+
+
+class TacoEvaluationError(TacoError):
+    """Raised when evaluation fails (e.g. division by zero in rational mode)."""

@@ -1,0 +1,124 @@
+"""The TACO expression grammar of Figure 5, as data.
+
+Two artefacts live here:
+
+* :data:`TACO_EBNF` — the grammar exactly as printed in the paper (Extended
+  Backus-Naur form), kept as documentation and used by the README/examples.
+* :func:`base_token_grammar` — a token-level context-free grammar over a
+  *finite* tensor/index vocabulary.  This is the un-refined "full grammar"
+  that the ``FullGrammar`` and ``LLMGrammar`` ablation configurations search
+  (Section 8, RQ4/RQ5): tensors are the symbolic names ``a, b, c, ...``,
+  index variables come from ``{i, j, k, l}``, and every arity/permutation up
+  to ``max_rank`` is available for every right-hand-side tensor.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Sequence, Tuple
+
+from ..grammars import ContextFreeGrammar, NonTerminal, Production
+
+#: The TACO grammar exactly as given in Figure 5 of the paper.
+TACO_EBNF = """\
+PROGRAM    ::= TENSOR "=" EXPR
+TENSOR     ::= IDENTIFIER | IDENTIFIER "(" INDEX-EXPR ")"
+EXPR       ::= TENSOR | CONSTANT | "(" EXPR ")" | "-" EXPR |
+               EXPR "+" EXPR | EXPR "-" EXPR |
+               EXPR "*" EXPR | EXPR "/" EXPR
+INDEX-EXPR ::= INDEX-VAR | INDEX-VAR "," INDEX-EXPR
+INDEX-VAR  ::= "i" | "j" | "k" | "l"
+IDENTIFIER ::= LETTER (LETTER | INTEGER)*
+CONSTANT   ::= INTEGER
+INTEGER    ::= DIGIT+
+LETTER     ::= "a" | "b" | ... | "z" | "A" | "B" | ... | "Z"
+DIGIT      ::= "0" | "1" | "2" | ... | "9"
+"""
+
+#: Canonical index variables, in the order templates standardise them.
+CANONICAL_INDEX_VARIABLES: Tuple[str, ...] = ("i", "j", "k", "l")
+
+#: Canonical symbolic tensor names.  ``a`` is always the left-hand side.
+CANONICAL_TENSOR_NAMES: Tuple[str, ...] = tuple("abcdefghijklmnopqrstuvwxyz"[:8])
+
+#: Binary operator tokens of the extended einsum notation.
+OPERATOR_TOKENS: Tuple[str, ...] = ("+", "-", "*", "/")
+
+#: Token used for the templatized constant placeholder.
+CONST_TOKEN = "Const"
+
+# Non-terminal names shared by all template grammars.
+NT_PROGRAM = NonTerminal("PROGRAM")
+NT_TENSOR1 = NonTerminal("TENSOR1")
+NT_EXPR = NonTerminal("EXPR")
+NT_TENSOR = NonTerminal("TENSOR")
+NT_CONSTANT = NonTerminal("CONSTANT")
+NT_OP = NonTerminal("OP")
+
+
+def tensor_tokens_for(
+    name: str,
+    rank: int,
+    index_variables: Sequence[str] = CANONICAL_INDEX_VARIABLES,
+) -> List[str]:
+    """All single-token accesses of a tensor *name* at *rank*.
+
+    Rank 0 yields just the bare name; rank ``n`` yields every permutation of
+    ``n`` distinct index variables drawn from *index_variables*, in a stable
+    order.  Repeated-index accesses (e.g. ``b(i,i)``) are intentionally not
+    produced here — the grammar generator adds them back only when an LLM
+    candidate used one (Section 4.2.4).
+    """
+    if rank == 0:
+        return [name]
+    tokens = []
+    for combo in permutations(index_variables, rank):
+        tokens.append(f"{name}({','.join(combo)})")
+    return tokens
+
+
+def base_token_grammar(
+    lhs_token: str,
+    rhs_tensor_names: Sequence[str],
+    max_rank: int = 2,
+    index_variables: Sequence[str] = CANONICAL_INDEX_VARIABLES,
+    include_constant: bool = True,
+    operators: Sequence[str] = OPERATOR_TOKENS,
+) -> ContextFreeGrammar:
+    """The un-refined token-level template grammar.
+
+    ``PROGRAM ::= TENSOR1 "=" EXPR``
+    ``TENSOR1 ::= <lhs_token>``
+    ``EXPR    ::= TENSOR | CONSTANT | EXPR OP EXPR``
+    ``TENSOR  ::= every access of every RHS tensor at every rank <= max_rank``
+
+    This deliberately over-approximates the search space; it is what the
+    ``FullGrammar`` ablation enumerates.
+    """
+    productions: List[Production] = [
+        Production(NT_PROGRAM, (NT_TENSOR1, "=", NT_EXPR)),
+        Production(NT_TENSOR1, (lhs_token,)),
+        Production(NT_EXPR, (NT_TENSOR,)),
+    ]
+    if include_constant:
+        productions.append(Production(NT_EXPR, (NT_CONSTANT,)))
+        productions.append(Production(NT_CONSTANT, (CONST_TOKEN,)))
+    productions.append(Production(NT_EXPR, (NT_EXPR, NT_OP, NT_EXPR)))
+    for op in operators:
+        productions.append(Production(NT_OP, (op,)))
+    for name in rhs_tensor_names:
+        for rank in range(0, max_rank + 1):
+            for token in tensor_tokens_for(name, rank, index_variables):
+                productions.append(Production(NT_TENSOR, (token,)))
+    return ContextFreeGrammar(NT_PROGRAM, productions)
+
+
+def describe() -> Dict[str, object]:
+    """A structured description of the TACO subset handled by this package."""
+    return {
+        "ebnf": TACO_EBNF,
+        "index_variables": list(CANONICAL_INDEX_VARIABLES),
+        "operators": list(OPERATOR_TOKENS),
+        "constant_token": CONST_TOKEN,
+        "max_rank": 4,
+    }

@@ -1,0 +1,220 @@
+"""Recursive-descent parser for TACO tensor-index expressions.
+
+Implements the grammar of Figure 5 with standard operator precedence
+(``*``/``/`` bind tighter than ``+``/``-``, unary minus binds tightest) and a
+couple of tolerances for LLM-produced surface syntax:
+
+* ``:=`` is accepted for ``=`` (the paper's preprocessing step, Section 4.2),
+* the identifier ``Const`` (any capitalisation of "const") denotes a symbolic
+  constant placeholder, which lets the same parser read back templates.
+
+Anything else that deviates from the grammar raises :class:`TacoSyntaxError`;
+STAGG discards such candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    BinaryOp,
+    BinOp,
+    Constant,
+    Expression,
+    SymbolicConstant,
+    TacoProgram,
+    TensorAccess,
+    UnaryOp,
+)
+from .errors import TacoSyntaxError
+from .lexer import Token, TokenKind, tokenize
+
+#: Identifiers (lower-cased) that denote the symbolic constant placeholder.
+_CONST_PLACEHOLDER_NAMES = {"const"}
+
+#: Maximum tensor rank accepted by the parser.  The paper's grammar allows
+#: index lists of any length but STAGG only ever deals with up to 4 index
+#: variables (i, j, k, l); larger accesses are almost certainly LLM noise.
+MAX_RANK = 4
+
+
+class _Parser:
+    """Single-use recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token-stream helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind is not TokenKind.END:
+            self._pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            raise TacoSyntaxError(
+                f"expected {what}, found {tok.text!r}", position=tok.position
+            )
+        return self._advance()
+
+    def _match(self, kind: TokenKind) -> Optional[Token]:
+        if self._peek().kind is kind:
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Grammar rules
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> TacoProgram:
+        lhs = self._parse_tensor_access(require_identifier=True)
+        self._expect(TokenKind.ASSIGN, "'='")
+        rhs = self._parse_expression()
+        end = self._peek()
+        if end.kind is not TokenKind.END:
+            raise TacoSyntaxError(
+                f"unexpected trailing input {end.text!r}", position=end.position
+            )
+        if not isinstance(lhs, TensorAccess):
+            raise TacoSyntaxError("left-hand side must be a tensor access")
+        return TacoProgram(lhs=lhs, rhs=rhs)
+
+    def parse_expression_only(self) -> Expression:
+        expr = self._parse_expression()
+        end = self._peek()
+        if end.kind is not TokenKind.END:
+            raise TacoSyntaxError(
+                f"unexpected trailing input {end.text!r}", position=end.position
+            )
+        return expr
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            tok = self._peek()
+            if tok.kind is TokenKind.PLUS:
+                self._advance()
+                right = self._parse_multiplicative()
+                left = BinaryOp(BinOp.ADD, left, right)
+            elif tok.kind is TokenKind.MINUS:
+                self._advance()
+                right = self._parse_multiplicative()
+                left = BinaryOp(BinOp.SUB, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is TokenKind.STAR:
+                self._advance()
+                right = self._parse_unary()
+                left = BinaryOp(BinOp.MUL, left, right)
+            elif tok.kind is TokenKind.SLASH:
+                self._advance()
+                right = self._parse_unary()
+                left = BinaryOp(BinOp.DIV, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self._match(TokenKind.MINUS):
+            operand = self._parse_unary()
+            return UnaryOp(operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            return Constant(_parse_number(tok))
+        if tok.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expr
+        if tok.kind is TokenKind.IDENTIFIER:
+            return self._parse_tensor_access(require_identifier=False)
+        raise TacoSyntaxError(
+            f"expected a tensor, constant or '(', found {tok.text!r}",
+            position=tok.position,
+        )
+
+    def _parse_tensor_access(self, require_identifier: bool) -> Expression:
+        tok = self._expect(TokenKind.IDENTIFIER, "an identifier")
+        name = tok.text
+        if self._peek().kind is not TokenKind.LPAREN:
+            if name.lower() in _CONST_PLACEHOLDER_NAMES and not require_identifier:
+                return SymbolicConstant(name="Const")
+            return TensorAccess(name)
+        self._advance()  # consume '('
+        indices = self._parse_index_list()
+        self._expect(TokenKind.RPAREN, "')'")
+        if len(indices) > MAX_RANK:
+            raise TacoSyntaxError(
+                f"tensor {name} accessed with {len(indices)} indices "
+                f"(maximum supported rank is {MAX_RANK})",
+                position=tok.position,
+            )
+        return TensorAccess(name, indices)
+
+    def _parse_index_list(self) -> Tuple[str, ...]:
+        indices: List[str] = []
+        first = self._expect(TokenKind.IDENTIFIER, "an index variable")
+        indices.append(first.text)
+        while self._match(TokenKind.COMMA):
+            nxt = self._expect(TokenKind.IDENTIFIER, "an index variable")
+            indices.append(nxt.text)
+        return tuple(indices)
+
+
+def _parse_number(tok: Token) -> int | float:
+    text = tok.text
+    if "." in text:
+        try:
+            return float(text)
+        except ValueError:
+            raise TacoSyntaxError(f"invalid number {text!r}", position=tok.position)
+    try:
+        return int(text)
+    except ValueError:
+        raise TacoSyntaxError(f"invalid number {text!r}", position=tok.position)
+
+
+def parse_program(source: str) -> TacoProgram:
+    """Parse a full TACO program ``lhs = rhs``.
+
+    >>> parse_program("a(i) = b(i,j) * c(j)").lhs.name
+    'a'
+    """
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expression:
+    """Parse a TACO expression (no assignment)."""
+    return _Parser(tokenize(source)).parse_expression_only()
+
+
+def is_valid_program(source: str) -> bool:
+    """True if *source* parses as a TACO program under the Figure-5 grammar."""
+    try:
+        parse_program(source)
+    except (TacoSyntaxError, Exception) as exc:  # noqa: BLE001
+        # Any structural error means the candidate is not a valid TACO program.
+        from .errors import TacoError
+
+        if isinstance(exc, TacoError):
+            return False
+        raise
+    return True

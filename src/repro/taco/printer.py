@@ -1,0 +1,96 @@
+"""Pretty-printing and token rendering for TACO programs and templates.
+
+Two renderings are provided:
+
+* :func:`to_source` — human-readable concrete syntax, re-parsable by the
+  parser (round-trip safe).
+* :func:`to_tokens` — the token-level rendering used by the template
+  grammars, in which a tensor access such as ``b(i,j)`` is a *single* token.
+  This is the representation the A* searches enumerate and the pCFG
+  weight-learning step counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from .ast import (
+    BinaryOp,
+    Constant,
+    Expression,
+    SymbolicConstant,
+    TacoProgram,
+    TensorAccess,
+    UnaryOp,
+)
+from .errors import TacoTypeError
+
+
+def to_source(node: Union[Expression, TacoProgram]) -> str:
+    """Render a program or expression as concrete TACO syntax."""
+    return str(node)
+
+
+def tensor_token(access: TensorAccess) -> str:
+    """The single-token rendering of a tensor access, e.g. ``"b(i,j)"``."""
+    if access.rank == 0:
+        return access.name
+    return f"{access.name}({','.join(access.indices)})"
+
+
+def to_tokens(node: Union[Expression, TacoProgram]) -> Tuple[str, ...]:
+    """Token-level rendering (tensor accesses are atomic tokens).
+
+    Parenthesised sub-expressions are rendered with explicit ``(`` / ``)``
+    tokens so that the token stream is unambiguous.
+    """
+    out: List[str] = []
+    if isinstance(node, TacoProgram):
+        out.append(tensor_token(node.lhs))
+        out.append("=")
+        _expr_tokens(node.rhs, out, parent_precedence=0)
+        return tuple(out)
+    _expr_tokens(node, out, parent_precedence=0)
+    return tuple(out)
+
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def _expr_tokens(node: Expression, out: List[str], parent_precedence: int) -> None:
+    if isinstance(node, TensorAccess):
+        out.append(tensor_token(node))
+        return
+    if isinstance(node, Constant):
+        out.append(str(node.value))
+        return
+    if isinstance(node, SymbolicConstant):
+        out.append(node.name)
+        return
+    if isinstance(node, UnaryOp):
+        out.append("-")
+        _expr_tokens(node.operand, out, parent_precedence=3)
+        return
+    if isinstance(node, BinaryOp):
+        precedence = _PRECEDENCE[node.op.value]
+        needs_parens = precedence < parent_precedence
+        if needs_parens:
+            out.append("(")
+        _expr_tokens(node.left, out, parent_precedence=precedence)
+        out.append(node.op.value)
+        _expr_tokens(node.right, out, parent_precedence=precedence + 1)
+        if needs_parens:
+            out.append(")")
+        return
+    raise TacoTypeError(f"unknown expression node {node!r}")
+
+
+def from_tokens(tokens: Tuple[str, ...]) -> TacoProgram:
+    """Parse a token-level rendering back into a program.
+
+    The inverse of :func:`to_tokens` for complete templates produced by the
+    search: tokens are simply joined with spaces and re-parsed.
+    """
+    from .parser import parse_program
+
+    return parse_program(" ".join(tokens))

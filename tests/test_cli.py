@@ -1,0 +1,234 @@
+"""Tests for the command-line interface (``python -m repro ...``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, infer_input_spec, main
+from repro.suite import all_benchmarks, get_benchmark
+
+
+# ---------------------------------------------------------------------- #
+# Parser construction
+# ---------------------------------------------------------------------- #
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_lift_defaults(self):
+        args = build_parser().parse_args(["lift", "mathfu.dot"])
+        assert args.search == "topdown"
+        assert args.grammar == "refined"
+        assert args.emit == "taco"
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.methods == "standard"
+        assert args.stride == 1
+
+
+# ---------------------------------------------------------------------- #
+# corpus subcommand
+# ---------------------------------------------------------------------- #
+class TestCorpusCommand:
+    def test_corpus_list_prints_every_benchmark(self, capsys):
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        assert f"({len(all_benchmarks())} benchmarks)" in out
+        assert "mathfu.dot" in out
+
+    def test_corpus_list_category_filter(self, capsys):
+        assert main(["corpus", "list", "--category", "llama"]) == 0
+        out = capsys.readouterr().out
+        assert "llama.rmsnorm_scale" in out
+        assert "mathfu.dot" not in out
+
+    def test_corpus_show(self, capsys):
+        assert main(["corpus", "show", "mathfu.dot"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "for" in out  # the C source is printed
+
+    def test_corpus_show_unknown_name(self, capsys):
+        assert main(["corpus", "show", "not.a.benchmark"]) == 1
+
+    def test_corpus_stats(self, capsys):
+        assert main(["corpus", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "total benchmarks : 77" in out
+        assert "real-world       : 67" in out
+
+
+# ---------------------------------------------------------------------- #
+# oracle subcommand
+# ---------------------------------------------------------------------- #
+class TestOracleCommand:
+    def test_oracle_shows_prompt_and_candidates(self, capsys):
+        assert main(["oracle", "blend.add_pixels", "--candidates", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Prompt" in out
+        assert "Return a list with 5 possible expressions" in out
+        assert "Parsed candidates" in out
+
+    def test_oracle_unknown_benchmark(self):
+        assert main(["oracle", "nope.nope"]) == 1
+
+    def test_oracle_seed_changes_response(self, capsys):
+        main(["oracle", "blend.add_pixels", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["oracle", "blend.add_pixels", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+# ---------------------------------------------------------------------- #
+# lift subcommand
+# ---------------------------------------------------------------------- #
+class TestLiftCommand:
+    def test_lift_corpus_benchmark(self, capsys):
+        assert main(["lift", "darknet.copy_cpu", "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_lift_bottomup(self, capsys):
+        assert main(["lift", "mathfu.dot", "--search", "bottomup", "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "[STAGG_BU]" in out
+
+    def test_lift_emit_numpy(self, capsys):
+        assert main(
+            ["lift", "darknet.copy_cpu", "--emit", "numpy", "--timeout", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The summary line plus the NumPy-style rendering of the lifted program.
+        assert "ok" in out
+        assert "[" in out.splitlines()[-1]
+
+    def test_lift_with_static_candidates(self, capsys):
+        assert (
+            main(
+                [
+                    "lift",
+                    "mathfu.dot",
+                    "--candidate",
+                    "a = b(i) * c(i)",
+                    "--candidate",
+                    "a = b(i) + c(i)",
+                    "--timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+
+    def test_lift_unknown_benchmark(self):
+        assert main(["lift", "missing.benchmark"]) == 1
+
+    def test_lift_c_file_requires_reference_or_candidates(self, tmp_path):
+        source = get_benchmark("darknet.copy_cpu").c_source
+        path = tmp_path / "kernel.c"
+        path.write_text(source)
+        with pytest.raises(SystemExit):
+            main(["lift", str(path)])
+
+    def test_lift_c_file_with_reference(self, tmp_path, capsys):
+        benchmark = get_benchmark("darknet.copy_cpu")
+        path = tmp_path / "kernel.c"
+        path.write_text(benchmark.c_source)
+        status = main(
+            ["lift", str(path), "--reference", benchmark.ground_truth, "--timeout", "30"]
+        )
+        assert status == 0
+
+    def test_lift_c_file_with_spec_file(self, tmp_path):
+        benchmark = get_benchmark("darknet.copy_cpu")
+        path = tmp_path / "kernel.c"
+        path.write_text(benchmark.c_source)
+        spec = {
+            "sizes": dict(benchmark.spec.sizes),
+            "arrays": {k: list(v) for k, v in benchmark.spec.arrays.items()},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        status = main(
+            [
+                "lift",
+                str(path),
+                "--spec",
+                str(spec_path),
+                "--reference",
+                benchmark.ground_truth,
+                "--timeout",
+                "30",
+            ]
+        )
+        assert status == 0
+
+
+# ---------------------------------------------------------------------- #
+# input-spec inference for raw C files
+# ---------------------------------------------------------------------- #
+class TestInferInputSpec:
+    def test_infers_array_ranks_from_analysis(self):
+        benchmark = get_benchmark("darknet.copy_cpu")
+        spec = infer_input_spec(benchmark.c_source)
+        for name, shape in benchmark.spec.arrays.items():
+            assert name in spec.arrays
+            assert len(spec.arrays[name]) == len(shape)
+
+    def test_infers_matrix_rank(self):
+        benchmark = get_benchmark("artificial.row_sums")
+        spec = infer_input_spec(benchmark.c_source)
+        ranks = sorted(len(shape) for shape in spec.arrays.values())
+        assert ranks[-1] >= 2
+
+    def test_size_parameters_get_defaults(self):
+        benchmark = get_benchmark("darknet.copy_cpu")
+        spec = infer_input_spec(benchmark.c_source)
+        assert all(value > 0 for value in spec.sizes.values())
+
+
+# ---------------------------------------------------------------------- #
+# evaluate subcommand (small slices only; the full sweep lives in benchmarks/)
+# ---------------------------------------------------------------------- #
+class TestEvaluateCommand:
+    def test_evaluate_small_slice_table1(self, capsys, tmp_path):
+        status = main(
+            [
+                "evaluate",
+                "--limit",
+                "2",
+                "--timeout",
+                "15",
+                "--table",
+                "1",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert (tmp_path / "records.csv").exists()
+        assert (tmp_path / "records.json").exists()
+
+    def test_evaluate_figure10(self, capsys):
+        status = main(
+            ["evaluate", "--limit", "2", "--timeout", "15", "--figure", "10"]
+        )
+        assert status == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_evaluate_empty_selection(self):
+        assert main(["evaluate", "--category", "nonexistent"]) == 1

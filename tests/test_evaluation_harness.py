@@ -1,0 +1,184 @@
+"""Tests for the evaluation harness: runner, metrics, tables and figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import SynthesisReport
+from repro.evaluation import (
+    EvaluationResult,
+    EvaluationRunner,
+    RunRecord,
+    cactus_series,
+    cumulative_cactus,
+    common_subset_metrics,
+    coverage_comparison,
+    figure9,
+    figure10,
+    format_table,
+    grammar_ablation_methods,
+    headline_metrics,
+    method_metrics,
+    penalty_ablation_methods,
+    records_as_rows,
+    save_csv,
+    save_json,
+    solved_counts,
+    standard_methods,
+    success_rates,
+    table1,
+    table2,
+    table3,
+    text_report,
+)
+from repro.suite import select
+
+
+class _FakeLifter:
+    """A deterministic stand-in lifter for harness tests."""
+
+    def __init__(self, label, solves, time=1.0, attempts=3):
+        self.label = label
+        self._solves = solves
+        self._time = time
+        self._attempts = attempts
+
+    def lift(self, task):
+        solved = task.name in self._solves
+        return SynthesisReport(
+            task_name=task.name,
+            method=self.label,
+            success=solved,
+            elapsed_seconds=self._time if solved else self._time * 10,
+            attempts=self._attempts,
+        )
+
+
+def _fake_result():
+    benchmarks = select(limit=4)
+    names = [b.name for b in benchmarks]
+    methods = {
+        "STAGG_TD": _FakeLifter("STAGG_TD", set(names), time=1.0),
+        "C2TACO": _FakeLifter("C2TACO", set(names[:3]), time=5.0, attempts=20),
+        "LLM": _FakeLifter("LLM", set(names[:1]), time=0.5, attempts=1),
+    }
+    return EvaluationRunner(methods, benchmarks).run(), names
+
+
+class TestRunnerAndMetrics:
+    def test_runner_produces_one_record_per_pair(self):
+        result, names = _fake_result()
+        assert len(result.records) == 3 * len(names)
+        assert set(result.methods()) == {"STAGG_TD", "C2TACO", "LLM"}
+        assert set(result.benchmarks()) == set(names)
+
+    def test_method_metrics(self):
+        result, names = _fake_result()
+        stagg = method_metrics(result, "STAGG_TD")
+        assert stagg.solved == len(names)
+        assert stagg.solve_percent == 100.0
+        llm = method_metrics(result, "LLM")
+        assert llm.solved == 1
+
+    def test_subset_metrics_restrict_to_reference_solved(self):
+        result, names = _fake_result()
+        subset = common_subset_metrics(result, "STAGG_TD", "C2TACO")
+        assert subset.total_benchmarks == 3
+
+    def test_coverage_comparison(self):
+        result, names = _fake_result()
+        comparison = coverage_comparison(result, "STAGG_TD", "C2TACO")
+        assert comparison["both"] == 3
+        assert comparison["only_STAGG_TD"] == 1
+
+    def test_headline_metrics(self):
+        result, _ = _fake_result()
+        headline = headline_metrics(result)
+        assert headline["stagg_td_solve_percent"] == 100.0
+        assert headline["speedup_vs_c2taco"] > 1.0
+
+    def test_filter_by_benchmark_names(self):
+        result, names = _fake_result()
+        filtered = result.filter(benchmarks=names[:2])
+        assert set(filtered.benchmarks()) == set(names[:2])
+
+
+class TestTablesAndFigures:
+    def test_table1_rows(self):
+        result, _ = _fake_result()
+        rows = table1(result)
+        methods = [row["method"] for row in rows]
+        assert "STAGG_TD" in methods and "C2TACO" in methods
+        stagg_row = next(row for row in rows if row["method"] == "STAGG_TD")
+        assert stagg_row["c2taco_subset_solved"] == 3
+
+    def test_table2_and_table3_percentages(self):
+        result, names = _fake_result()
+        for rows in (table2(result), table3(result)):
+            for row in rows:
+                assert 0.0 <= row["percent"] <= 100.0
+
+    def test_cactus_series_sorted(self):
+        result, _ = _fake_result()
+        series = cactus_series(result)
+        for times in series.values():
+            assert times == sorted(times)
+        cumulative = cumulative_cactus(series)
+        for times in cumulative.values():
+            assert times == sorted(times)
+
+    def test_success_rates_and_counts(self):
+        result, names = _fake_result()
+        rates = success_rates(result)
+        counts = solved_counts(result)
+        assert rates["STAGG_TD"] == 100.0
+        assert counts["LLM"] == 1
+
+    def test_figures_9_and_10_use_real_world_subset(self):
+        result, _ = _fake_result()
+        assert set(figure9(result)) == set(result.methods())
+        assert set(figure10(result)) == set(result.methods())
+
+    def test_format_table_renders_all_columns(self):
+        result, _ = _fake_result()
+        text = format_table(table1(result), title="Table 1")
+        assert "Table 1" in text and "STAGG_TD" in text
+
+    def test_text_report_and_serialisation(self, tmp_path):
+        result, _ = _fake_result()
+        report = text_report(result)
+        assert "Per-method summary" in report
+        save_csv(result, tmp_path / "records.csv")
+        save_json(result, tmp_path / "records.json")
+        assert (tmp_path / "records.csv").exists()
+        assert (tmp_path / "records.json").exists()
+        assert len(records_as_rows(result)) == len(result.records)
+
+
+class TestMethodFactories:
+    def test_standard_methods_cover_the_paper_lineup(self):
+        methods = standard_methods(timeout_seconds=1.0)
+        assert set(methods) == {
+            "STAGG_TD",
+            "STAGG_BU",
+            "LLM",
+            "C2TACO",
+            "C2TACO.NoHeuristics",
+            "Tenspiler",
+        }
+
+    def test_standard_methods_subset(self):
+        methods = standard_methods(timeout_seconds=1.0, include=["STAGG_TD", "LLM"])
+        assert set(methods) == {"STAGG_TD", "LLM"}
+
+    def test_penalty_ablation_labels(self):
+        labels = set(penalty_ablation_methods(timeout_seconds=1.0))
+        assert "STAGG_TD.Drop(A)" in labels
+        assert "STAGG_BU.Drop(b2)" in labels
+        assert len(labels) == 11
+
+    def test_grammar_ablation_labels(self):
+        labels = set(grammar_ablation_methods(timeout_seconds=1.0))
+        assert "STAGG_TD.FullGrammar" in labels
+        assert "STAGG_BU.LLMGrammar" in labels
+        assert len(labels) == 8

@@ -1,0 +1,228 @@
+"""Tests for the grammar machinery (CFG, pCFG, derivations, h(alpha))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammars import (
+    ContextFreeGrammar,
+    DerivationTree,
+    GrammarError,
+    NonTerminal,
+    ProbabilisticGrammar,
+    Production,
+    WeightedGrammar,
+    completion_costs,
+    derivable_nonterminals,
+    heuristic_completion_cost,
+    leftmost_derivation,
+    max_derivation_probabilities,
+)
+
+S = NonTerminal("S")
+E = NonTerminal("E")
+OP = NonTerminal("OP")
+
+
+def simple_grammar() -> ContextFreeGrammar:
+    """S -> E ; E -> 'x' | 'y' | E OP E ; OP -> '+' | '*'"""
+    return ContextFreeGrammar(
+        S,
+        [
+            Production(S, (E,)),
+            Production(E, ("x",)),
+            Production(E, ("y",)),
+            Production(E, (E, OP, E)),
+            Production(OP, ("+",)),
+            Production(OP, ("*",)),
+        ],
+    )
+
+
+class TestContextFreeGrammar:
+    def test_basic_introspection(self):
+        grammar = simple_grammar()
+        assert grammar.start == S
+        assert set(grammar.terminals) == {"x", "y", "+", "*"}
+        assert S in grammar.nonterminals and E in grammar.nonterminals
+        assert len(grammar.productions_for(E)) == 3
+
+    def test_undefined_nonterminal_rejected(self):
+        with pytest.raises(GrammarError):
+            ContextFreeGrammar(S, [Production(S, (NonTerminal("MISSING"),))])
+
+    def test_start_without_production_rejected(self):
+        with pytest.raises(GrammarError):
+            ContextFreeGrammar(NonTerminal("T"), [Production(S, ("x",))])
+
+    def test_leftmost_expansion(self):
+        grammar = simple_grammar()
+        form = (S,)
+        form = grammar.expand_leftmost(form, Production(S, (E,)))
+        form = grammar.expand_leftmost(form, Production(E, (E, OP, E)))
+        assert form == (E, OP, E)
+        assert grammar.leftmost_nonterminal(form) == E
+        assert not grammar.is_complete(form)
+
+    def test_expand_wrong_nonterminal_rejected(self):
+        grammar = simple_grammar()
+        with pytest.raises(GrammarError):
+            grammar.expand_leftmost((S,), Production(E, ("x",)))
+
+
+class TestWeightedAndProbabilistic:
+    def test_weight_counting_and_normalisation(self):
+        grammar = simple_grammar()
+        weighted = WeightedGrammar(grammar.start, grammar.productions, default_weight=0.0)
+        weighted.set_weight(Production(E, ("x",)), 3.0)
+        weighted.set_weight(Production(E, ("y",)), 1.0)
+        weighted.set_weight(Production(E, (E, OP, E)), 0.0)
+        pcfg = ProbabilisticGrammar.from_weights(weighted)
+        assert pcfg.probability(Production(E, ("x",))) == pytest.approx(0.75)
+        assert pcfg.probability(Production(E, ("y",))) == pytest.approx(0.25)
+
+    def test_zero_weight_nonterminal_falls_back_to_uniform(self):
+        grammar = simple_grammar()
+        weighted = WeightedGrammar(grammar.start, grammar.productions, default_weight=0.0)
+        pcfg = ProbabilisticGrammar.from_weights(weighted)
+        assert pcfg.probability(Production(OP, ("+",))) == pytest.approx(0.5)
+
+    def test_uniform_probabilities_sum_to_one(self):
+        pcfg = ProbabilisticGrammar.uniform(simple_grammar())
+        for nt in pcfg.nonterminals:
+            total = sum(pcfg.probability(p) for p in pcfg.productions_for(nt))
+            assert total == pytest.approx(1.0)
+
+    def test_invalid_probabilities_rejected(self):
+        grammar = simple_grammar()
+        probabilities = {p: 1.0 for p in grammar.productions}
+        with pytest.raises(GrammarError):
+            ProbabilisticGrammar(grammar.start, grammar.productions, probabilities)
+
+    def test_cost_is_negative_log2(self):
+        pcfg = ProbabilisticGrammar.uniform(simple_grammar())
+        production = Production(OP, ("+",))
+        assert pcfg.cost(production) == pytest.approx(1.0)  # probability 0.5
+
+
+class TestAnalysis:
+    def test_h_values_in_unit_interval(self):
+        pcfg = ProbabilisticGrammar.uniform(simple_grammar())
+        h = max_derivation_probabilities(pcfg)
+        for value in h.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_all_nonterminals_derivable(self):
+        pcfg = ProbabilisticGrammar.uniform(simple_grammar())
+        assert all(derivable_nonterminals(pcfg).values())
+
+    def test_completion_cost_zero_for_terminal_only_forms(self):
+        pcfg = ProbabilisticGrammar.uniform(simple_grammar())
+        costs = completion_costs(pcfg)
+        assert heuristic_completion_cost(("x", "+", "y"), costs) == 0.0
+        assert heuristic_completion_cost((E,), costs) > 0.0
+
+    def test_underivable_nonterminal_detected(self):
+        loop = NonTerminal("LOOP")
+        grammar = ContextFreeGrammar(
+            S,
+            [
+                Production(S, ("x",)),
+                Production(S, (loop,)),
+                Production(loop, (loop,)),
+            ],
+        )
+        pcfg = ProbabilisticGrammar.uniform(grammar)
+        assert derivable_nonterminals(pcfg)[loop] is False
+
+
+class TestDerivationTree:
+    def test_manual_derivation(self):
+        grammar = simple_grammar()
+        tree = DerivationTree(grammar)
+        tree = tree.expand_leftmost(Production(S, (E,)))
+        tree = tree.expand_leftmost(Production(E, (E, OP, E)))
+        tree = tree.expand_leftmost(Production(E, ("x",)))
+        tree = tree.expand_leftmost(Production(OP, ("+",)))
+        tree = tree.expand_leftmost(Production(E, ("y",)))
+        assert tree.is_complete()
+        assert tree.yield_tokens() == ("x", "+", "y")
+        assert len(tree.applied_productions()) == 5
+
+    def test_expansion_is_persistent(self):
+        grammar = simple_grammar()
+        tree = DerivationTree(grammar)
+        expanded = tree.expand_leftmost(Production(S, (E,)))
+        assert tree.leftmost_nonterminal() == S
+        assert expanded.leftmost_nonterminal() == E
+
+    def test_leftmost_derivation_replay(self):
+        grammar = simple_grammar()
+        rules = [
+            Production(S, (E,)),
+            Production(E, (E, OP, E)),
+            Production(E, ("x",)),
+            Production(OP, ("*",)),
+            Production(E, ("y",)),
+        ]
+        tree = leftmost_derivation(grammar, rules)
+        assert tree.sentence() == "x * y"
+        assert tree.applied_productions() == tuple(rules)
+
+    def test_expression_depth(self):
+        grammar = simple_grammar()
+        tree = DerivationTree(grammar)
+        tree = tree.expand_leftmost(Production(S, (E,)))
+        tree = tree.expand_leftmost(Production(E, (E, OP, E)))
+        assert tree.expression_depth(("E",)) >= 2
+
+    def test_cannot_expand_complete_tree(self):
+        grammar = simple_grammar()
+        tree = DerivationTree(grammar)
+        tree = tree.expand_leftmost(Production(S, (E,)))
+        tree = tree.expand_leftmost(Production(E, ("x",)))
+        with pytest.raises(GrammarError):
+            tree.expand_leftmost(Production(E, ("y",)))
+
+    def test_yield_tokens_requires_completeness(self):
+        grammar = simple_grammar()
+        tree = DerivationTree(grammar)
+        with pytest.raises(GrammarError):
+            tree.yield_tokens()
+
+
+class TestPropertyBased:
+    @given(weights=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_normalisation_always_sums_to_one(self, weights):
+        grammar = simple_grammar()
+        weighted = WeightedGrammar(grammar.start, grammar.productions, default_weight=1.0)
+        for production, weight in zip(grammar.productions_for(E), weights):
+            weighted.set_weight(production, weight)
+        pcfg = ProbabilisticGrammar.from_weights(weighted)
+        total = sum(pcfg.probability(p) for p in pcfg.productions_for(E))
+        assert total == pytest.approx(1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_derivations_terminate_and_are_complete(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        grammar = simple_grammar()
+        tree = DerivationTree(grammar)
+        for _ in range(200):
+            if tree.is_complete():
+                break
+            options = tree.possible_expansions()
+            # Bias towards terminals so random derivations terminate.
+            terminal_options = [p for p in options if not p.rhs_nonterminals()]
+            pick = rng.choice(terminal_options if terminal_options and rng.random() < 0.7 else list(options))
+            tree = tree.expand_leftmost(pick)
+        if tree.is_complete():
+            tokens = tree.yield_tokens()
+            assert all(isinstance(token, str) for token in tokens)

@@ -1,0 +1,105 @@
+"""Tests for the benchmark corpus: structure, executability and ground truth."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.cfront.analysis import analyze_signature, predict_output_rank
+from repro.core import IOExampleGenerator, TemplateValidator
+from repro.cfront.analysis import harvest_constants
+from repro.suite import (
+    REAL_WORLD_CATEGORIES,
+    all_benchmarks,
+    artificial_benchmarks,
+    benchmarks_by_category,
+    corpus_statistics,
+    get_benchmark,
+    real_world_benchmarks,
+    select,
+)
+from repro.taco import parse_program
+
+
+class TestCorpusShape:
+    def test_total_counts_match_paper(self):
+        stats = corpus_statistics()
+        assert stats["total"] == 77
+        assert stats["real_world"] == 67
+        assert stats["artificial"] == 10
+
+    def test_six_llama_benchmarks(self):
+        assert len(benchmarks_by_category()["llama"]) == 6
+
+    def test_real_world_categories(self):
+        assert set(benchmarks_by_category()) == set(REAL_WORLD_CATEGORIES) | {"artificial"}
+
+    def test_unique_names(self):
+        names = [b.name for b in all_benchmarks()]
+        assert len(names) == len(set(names))
+
+    def test_rank_coverage(self):
+        ranks = {b.max_rank() for b in all_benchmarks()}
+        assert {0, 1, 2, 3} <= ranks | {0}
+        assert corpus_statistics()["max_rank"] == 3
+
+    def test_selection_helpers(self):
+        assert len(select(categories=["llama"])) == 6
+        assert len(select(real_world_only=True)) == 67
+        assert len(select(limit=5)) == 5
+        assert select(names=["mathfu.dot"])[0].name == "mathfu.dot"
+        with pytest.raises(KeyError):
+            get_benchmark("does.not.exist")
+
+    def test_ground_truths_parse(self):
+        for benchmark in all_benchmarks():
+            program = parse_program(benchmark.ground_truth)
+            assert program.lhs.name == "a"
+
+    def test_some_benchmarks_exceed_template_library(self):
+        stats = corpus_statistics()
+        assert 8 <= stats["beyond_template_library"] <= 20
+
+
+class TestCorpusExecutability:
+    """Every kernel parses, runs, matches its NumPy reference and its TACO truth."""
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_kernel_matches_reference(self, bench):
+        example = IOExampleGenerator(bench.task(), seed=13).generate_one(
+            avoid_zero=bench.divides_by_input
+        )
+        if bench.reference is None:
+            pytest.skip("no reference implementation")
+        args = {
+            name: np.array(value, dtype=float) if isinstance(value, np.ndarray) else float(value)
+            for name, value in example.inputs.items()
+        }
+        expected = np.asarray(bench.reference(args), dtype=float)
+        actual = np.asarray(
+            example.output if isinstance(example.output, np.ndarray) else float(example.output),
+            dtype=float,
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-9)
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_ground_truth_validates_against_kernel(self, bench):
+        """The stated TACO ground truth actually reproduces the C kernel."""
+        task = bench.task()
+        function = task.parse()
+        signature = analyze_signature(function)
+        constants = harvest_constants(function)
+        examples = IOExampleGenerator(task, function, signature, seed=29).generate(
+            2, avoid_zero=bench.divides_by_input
+        )
+        validator = TemplateValidator(examples, constants)
+        result = validator.validate(parse_program(bench.ground_truth))
+        assert result.success, f"ground truth of {bench.name} failed validation"
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_static_lhs_rank_matches_ground_truth(self, bench):
+        function = bench.task().parse()
+        truth_rank = parse_program(bench.ground_truth).lhs.rank
+        assert predict_output_rank(function) == truth_rank

@@ -1,0 +1,147 @@
+"""Tests for the TACO lexer and parser (Figure 5 grammar)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.taco import (
+    BinOp,
+    BinaryOp,
+    Constant,
+    SymbolicConstant,
+    TacoSyntaxError,
+    TensorAccess,
+    UnaryOp,
+    is_valid_program,
+    parse_expression,
+    parse_program,
+    to_source,
+    to_tokens,
+    tokenize,
+)
+from repro.taco.lexer import TokenKind
+
+
+class TestLexer:
+    def test_tokenizes_simple_program(self):
+        tokens = tokenize("a(i) = b(i,j) * c(j)")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] is TokenKind.IDENTIFIER
+        assert TokenKind.ASSIGN in kinds
+        assert kinds[-1] is TokenKind.END
+
+    def test_walrus_assignment_is_normalised(self):
+        tokens = tokenize("a(i) := b(i)")
+        assert any(t.kind is TokenKind.ASSIGN for t in tokens)
+
+    def test_unicode_operators_are_normalised(self):
+        tokens = tokenize("a(i) = b(i) ∗ c(i)")
+        assert any(t.kind is TokenKind.STAR for t in tokens)
+
+    def test_rejects_unknown_characters(self):
+        with pytest.raises(TacoSyntaxError):
+            tokenize("a(i) = b(i) @ c(i)")
+
+    def test_numbers_and_identifiers(self):
+        texts = [t.text for t in tokenize("out2 = 42 * x1")]
+        assert "out2" in texts and "42" in texts and "x1" in texts
+
+
+class TestParser:
+    def test_parses_matvec(self):
+        program = parse_program("a(i) = b(i,j) * c(j)")
+        assert program.lhs == TensorAccess("a", ("i",))
+        assert isinstance(program.rhs, BinaryOp)
+        assert program.rhs.op is BinOp.MUL
+
+    def test_parses_scalar_output(self):
+        program = parse_program("a = b(i) * c(i)")
+        assert program.lhs.rank == 0
+        assert program.reduction_variables() == ("i",)
+
+    def test_parses_constants(self):
+        program = parse_program("a(i) = b(i) + 2")
+        constants = program.rhs.constants()
+        assert constants == (Constant(2),)
+
+    def test_parses_const_placeholder(self):
+        program = parse_program("a(i) = b(i) * Const")
+        assert any(isinstance(node, SymbolicConstant) for node in [program.rhs.right])
+
+    def test_parses_unary_minus(self):
+        program = parse_program("a(i) = -b(i)")
+        assert isinstance(program.rhs, UnaryOp)
+
+    def test_precedence_mul_over_add(self):
+        program = parse_program("a(i) = b(i) + c(i) * d(i)")
+        assert program.rhs.op is BinOp.ADD
+        assert isinstance(program.rhs.right, BinaryOp)
+        assert program.rhs.right.op is BinOp.MUL
+
+    def test_parentheses_override_precedence(self):
+        program = parse_program("a(i) = (b(i) + c(i)) * d(i)")
+        assert program.rhs.op is BinOp.MUL
+        assert isinstance(program.rhs.left, BinaryOp)
+
+    def test_walrus_accepted(self):
+        program = parse_program("Result(i) := Mat1(i,j) * Mat2(j)")
+        assert program.lhs.name == "Result"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a(i) = ",
+            "a(i) b(i)",
+            "a(i) = b(i,)",
+            "a(i) = sum(i, b(i))",
+            "= b(i)",
+            "a(i) = b(i) +",
+            "a(i) = b(2)",
+        ],
+    )
+    def test_rejects_invalid_programs(self, bad):
+        assert not is_valid_program(bad)
+
+    def test_rejects_repeated_lhs_index(self):
+        assert not is_valid_program("a(i,i) = b(i)")
+
+    def test_dimension_list_matches_definition(self):
+        program = parse_program("a(i) = b(i,j) * c(j)")
+        assert program.dimension_list() == (1, 2, 1)
+
+    def test_roundtrip_through_source(self):
+        source = "a(i,j) = b(i,k) * c(k,j) + d(i,j)"
+        program = parse_program(source)
+        assert parse_program(to_source(program)) == program
+
+    def test_roundtrip_through_tokens(self):
+        program = parse_program("a(i) = b(i,j) * c(j) + 3")
+        tokens = to_tokens(program)
+        assert parse_program(" ".join(tokens)) == program
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(TacoSyntaxError):
+            parse_program("a(i) = b(i) extra")
+
+    def test_parse_expression_only(self):
+        expr = parse_expression("b(i,j) * c(j)")
+        assert isinstance(expr, BinaryOp)
+
+
+class TestProgramQueries:
+    def test_tensor_names_in_order(self):
+        program = parse_program("a(i) = c(i) + b(i) + c(i)")
+        assert program.tensor_names() == ("a", "c", "b")
+
+    def test_index_variables_lhs_first(self):
+        program = parse_program("a(i) = b(j,i) * c(j)")
+        assert program.index_variables() == ("i", "j")
+
+    def test_depth_measure(self):
+        assert parse_program("a(i) = b(i)").depth() == 1
+        assert parse_program("a(i) = b(i) + c(i,j)").depth() == 2
+        assert parse_program("a(i) = b(i) + c(i) + d(i)").depth() == 3
+
+    def test_operators_collection(self):
+        program = parse_program("a(i) = b(i) + c(i) / d(i)")
+        assert program.operators() == (BinOp.ADD, BinOp.DIV)
