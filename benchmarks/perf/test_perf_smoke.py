@@ -1,0 +1,65 @@
+"""Smoke test for the candidate-throughput microbenchmarks.
+
+Runs a reduced kernel set so the tier-1 suite stays fast, and guards the
+perf contract of this subsystem: the tiered+cached validator hot path must
+beat a seed-architecture reference loop by a wide margin, and the JSON
+record must carry every field the trajectory tooling expects.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.evaluation.perf import PERF_KERNELS, run_perf_suite, write_perf_record
+
+#: Two kernels are enough for the smoke: one elementwise, one reduction.
+SMOKE_KERNELS = ("blend.add_pixels", "darknet.forward_connected")
+
+
+def test_perf_record_shape_and_speedup(tmp_path):
+    path = tmp_path / "BENCH_smoke.json"
+    record = write_perf_record(path, scope="quick", kernels=SMOKE_KERNELS)
+
+    on_disk = json.loads(path.read_text())
+    assert on_disk == record
+    assert record["schema"] == "repro-perf-v1"
+    assert record["kernels"] == list(SMOKE_KERNELS)
+
+    validator = record["validator"]
+    for label in ("tiered_cached", "seed_reference"):
+        assert validator[label]["candidates"] > 0
+        assert validator[label]["candidates_per_sec"] > 0
+    # Both configurations must burn through the identical substitution stream.
+    assert validator["tiered_cached"]["candidates"] == validator["seed_reference"]["candidates"]
+    # The perf contract: the hot path is at least 2x the reference even on
+    # a loaded CI box (the committed full-set record shows >= 3x).
+    assert validator["speedup"] >= 2.0
+
+    search = record["search"]
+    for style in ("topdown", "bottomup"):
+        assert search[style]["nodes"] > 0
+        assert search[style]["nodes_per_sec"] > 0
+    # The top-down grammar is ambiguous, so the visited-form set must fire.
+    assert search["topdown"]["duplicates_pruned"] > 0
+
+
+def test_default_kernel_set_is_fixed():
+    # The trajectory only makes sense if the fixed kernel set stays fixed;
+    # extend deliberately, with a new schema tag, rather than accidentally.
+    assert PERF_KERNELS == (
+        "blend.add_pixels",
+        "blend.lift_black_level",
+        "darknet.dot_cpu",
+        "darknet.forward_connected",
+        "darknet.gemm_nn",
+        "blend.weighted_sum",
+    )
+
+
+def test_invalid_scope_rejected():
+    try:
+        run_perf_suite("huge")
+    except ValueError as error:
+        assert "scope" in str(error)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("expected ValueError for unknown scope")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run the candidate-throughput microbenchmarks and emit the perf JSON.
+
+Usage::
+
+    python scripts/bench.py --tag pr2 [--scope quick|full] [--output PATH]
+
+The record's schema is described in :mod:`repro.evaluation.perf`; committed
+``BENCH_<tag>.json`` files at the repository root form the perf trajectory
+across PRs — pass your PR's tag so earlier baselines are never overwritten
+(``--output`` overrides the derived path entirely).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.evaluation.perf import write_perf_record  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scope", choices=("quick", "full"), default="quick",
+        help="measurement size (quick: ~seconds, full: ~a minute)",
+    )
+    parser.add_argument(
+        "--tag", default="pr1",
+        help="trajectory tag; the record goes to BENCH_<tag>.json at the "
+        "repo root (pass your PR's tag to avoid overwriting baselines)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="explicit output path (overrides --tag)",
+    )
+    args = parser.parse_args(argv)
+    output = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{args.tag}.json"
+    record = write_perf_record(output, scope=args.scope)
+    validator = record["validator"]
+    search = record["search"]
+    print(f"validator  tiered+cached : {validator['tiered_cached']['candidates_per_sec']:>10.1f} candidates/sec")
+    print(f"validator  seed reference: {validator['seed_reference']['candidates_per_sec']:>10.1f} candidates/sec")
+    print(f"validator  speedup       : {validator['speedup']:>10.2f}x")
+    print(f"search     topdown       : {search['topdown']['nodes_per_sec']:>10.1f} nodes/sec")
+    print(f"search     bottomup      : {search['bottomup']['nodes_per_sec']:>10.1f} nodes/sec")
+    print(f"record written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--output", default=None, help="directory for CSV/JSON records")
     evaluate.add_argument("--seed", type=int, default=2025, help="oracle seed")
+    evaluate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (1 = sequential; keep at or "
+        "below the core count — per-query budgets are wall-clock, so "
+        "oversubscription can time out borderline queries)",
+    )
 
     return parser
 
@@ -369,6 +375,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         methods,
         benchmarks,
         progress=lambda method, name, report: print(f"  {report.summary()}"),
+        workers=args.workers,
     ).run()
 
     if args.table == 1:

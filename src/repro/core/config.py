@@ -51,6 +51,10 @@ class StaggConfig:
     penalties: PenaltyConfig = field(default_factory=PenaltyConfig)
     #: Number of I/O examples generated for validation.
     num_io_examples: int = 3
+    #: Two-tier validation: float64-screen each substitution on one example
+    #: before the exact Fraction confirmation.  Outcome-preserving; disable
+    #: only to measure or to fall back to exact-only validation.
+    tiered_validation: bool = True
     #: Search resource limits.
     limits: SearchLimits = field(default_factory=SearchLimits)
     #: Bounded-verification configuration.

@@ -285,8 +285,19 @@ _CRITERIA = {
 }
 
 
+#: Cap on the per-evaluator penalty memo; reached only by pathological
+#: searches, in which case the memo is simply dropped and rebuilt.
+_PENALTY_MEMO_LIMIT = 262_144
+
+
 class PenaltyEvaluator:
-    """Evaluates the total penalty ``X(x)`` for a search style."""
+    """Evaluates the total penalty ``X(x)`` for a search style.
+
+    ``evaluate`` is memoized on the symbol tuple: the A* searches score every
+    candidate expansion, and distinct derivation paths keep producing the
+    same sentential forms, so the view construction and criteria walk run
+    once per distinct form instead of once per enqueue attempt.
+    """
 
     def __init__(
         self,
@@ -297,14 +308,22 @@ class PenaltyEvaluator:
         self._context = context
         self._config = config or PenaltyConfig()
         self._criteria = tuple(c for c in criteria if self._config.enabled(c))
+        self._memo: Dict[Tuple[Symbol, ...], float] = {}
 
     @property
     def active_criteria(self) -> Tuple[str, ...]:
         return self._criteria
 
     def evaluate(self, symbols: Sequence[Symbol]) -> float:
-        view = view_from_symbols(symbols)
-        return self.evaluate_view(view)
+        key = tuple(symbols)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        penalty = self.evaluate_view(view_from_symbols(key))
+        if len(self._memo) >= _PENALTY_MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = penalty
+        return penalty
 
     def evaluate_view(self, view: TemplateView) -> float:
         total = 0.0

@@ -32,6 +32,10 @@ class SearchLimits:
     timeout_seconds: Optional[float] = None
     #: Maximum expression depth (Section 5.1 uses 6).
     max_depth: int = 6
+    #: Prune duplicate partial derivations before enqueueing: a candidate
+    #: expansion whose sentential-form state (yield plus expression-nesting
+    #: levels) was already enqueued at no worse cost is skipped.
+    prune_duplicates: bool = True
 
 
 @dataclass
@@ -47,9 +51,88 @@ class SearchOutcome:
     candidates_tried: int = 0
     #: Number of nodes expanded from the priority queue.
     nodes_expanded: int = 0
+    #: Number of candidate expansions skipped by the visited-form set.
+    duplicates_pruned: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
     exhausted: bool = False
+
+
+class VisitedForms:
+    """Dedup of duplicate derivations, sound with respect to search outcomes.
+
+    Two kinds of duplicates are recognised:
+
+    * **Partial states**, keyed on the yield symbols *plus* the per-element
+      expression-nesting levels.  Two partial trees that agree on both are
+      interchangeable: every future expansion splices into the yield at
+      positions and nesting levels determined entirely by that state, so
+      they derive exactly the same completions at the same future costs and
+      expression depths.  A new occurrence is pruned when an equally cheap
+      copy of the same state is already enqueued.
+
+    * **Complete forms**, keyed on the yield alone.  A complete tree's token
+      string fully determines the candidate template (the parser, not the
+      derivation structure, fixes the semantics), so a second derivation of
+      the same sentence is redundant — this is where the grammar's ambiguity
+      (operator chains derive left- and right-nested) actually bites.  The
+      duplicate is pruned when the recorded copy is no more expensive and
+      will really be checked (its structural depth fits the search's depth
+      budget), or when the duplicate itself would be discarded by the depth
+      check anyway.
+    """
+
+    __slots__ = ("_partial", "_complete", "_max_depth")
+
+    #: Safety valve against pathological searches: when either record grows
+    #: past this many entries it is dropped and rebuilt (losing only dedup
+    #: opportunities, never correctness), mirroring the penalty memo's cap.
+    MAX_ENTRIES = 262_144
+
+    def __init__(self, max_depth: Optional[int] = None) -> None:
+        self._partial: dict = {}
+        self._complete: dict = {}
+        self._max_depth = max_depth
+
+    def should_prune(self, symbols, levels, cost: float) -> bool:
+        key = (symbols, levels)
+        best = self._partial.get(key)
+        if best is not None and cost >= best:
+            return True
+        if len(self._partial) >= self.MAX_ENTRIES:
+            self._partial.clear()
+        self._partial[key] = cost if best is None else min(cost, best)
+        return False
+
+    def should_prune_complete(self, symbols, levels, cost: float) -> bool:
+        depth = max(levels, default=0)
+        if len(self._complete) >= self.MAX_ENTRIES:
+            self._complete.clear()
+        entry = self._complete.get(symbols)
+        if entry is not None:
+            kept_cost, kept_depth = entry
+            kept_in_budget = self._max_depth is None or kept_depth <= self._max_depth
+            new_discarded = self._max_depth is not None and depth > self._max_depth
+            if cost >= kept_cost and (kept_in_budget or new_discarded):
+                return True
+        # Keep, recording the strongest real (cost, depth) pair seen: cheaper
+        # wins, ties go to the shallower (more budget-proof) derivation, and
+        # an in-budget derivation replaces an out-of-budget record.
+        if (
+            entry is None
+            or cost < entry[0]
+            or (cost == entry[0] and depth < entry[1])
+            or (
+                self._max_depth is not None
+                and entry[1] > self._max_depth
+                and depth <= self._max_depth
+            )
+        ):
+            self._complete[symbols] = (cost, depth)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._partial) + len(self._complete)
 
 
 class PriorityQueue:

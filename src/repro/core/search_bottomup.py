@@ -24,7 +24,14 @@ from ..taco.parser import parse_program
 from .costs import BottomUpCostModel, count_rhs_tensors
 from .dimension_list import DimensionList
 from .penalties import PenaltyEvaluator
-from .search import CandidateChecker, Deadline, PriorityQueue, SearchLimits, SearchOutcome
+from .search import (
+    CandidateChecker,
+    Deadline,
+    PriorityQueue,
+    SearchLimits,
+    SearchOutcome,
+    VisitedForms,
+)
 
 
 class BottomUpSearch:
@@ -53,6 +60,7 @@ class BottomUpSearch:
         deadline = Deadline(self._limits.timeout_seconds)
         queue = PriorityQueue()
         checked: set[str] = set()
+        visited = VisitedForms() if self._limits.prune_duplicates else None
         root = DerivationTree(self._grammar)
         queue.push(0.0, (root, 0.0))
         target_tensors = len(self._dimension_list)
@@ -83,14 +91,26 @@ class BottomUpSearch:
                     continue
 
             for production in tree.possible_expansions():
-                expanded = tree.expand_leftmost(production)
                 cost = accumulated_cost + self._costs.production_cost(production)
-                expanded_symbols = expanded.yield_symbols()
+                # Score the expansion from a spliced-yield preview; the child
+                # tree is only built if it survives dedup and the penalties.
+                preview = tree.preview_expansion(production)
+                expanded_symbols, levels = preview
+                if visited is not None:
+                    complete = not any(is_nonterminal(s) for s in expanded_symbols)
+                    if (
+                        visited.should_prune_complete(expanded_symbols, levels, cost)
+                        if complete
+                        else visited.should_prune(expanded_symbols, levels, cost)
+                    ):
+                        outcome.duplicates_pruned += 1
+                        continue
                 penalty = self._penalties.evaluate(expanded_symbols)
                 if math.isinf(penalty):
                     continue
                 placed = count_rhs_tensors(expanded_symbols)
                 heuristic = self._costs.completion_cost(placed)
+                expanded = tree.expand_leftmost(production, preview)
                 queue.push(cost + heuristic + penalty, (expanded, cost))
 
         outcome.exhausted = not queue and not outcome.timed_out

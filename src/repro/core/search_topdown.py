@@ -18,13 +18,20 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from ..grammars import DerivationTree, ProbabilisticGrammar
+from ..grammars import DerivationTree, ProbabilisticGrammar, is_nonterminal
 from ..taco import TacoProgram
 from ..taco.errors import TacoError
 from ..taco.printer import from_tokens
 from .costs import TopDownCostModel
 from .penalties import PenaltyEvaluator
-from .search import CandidateChecker, Deadline, PriorityQueue, SearchLimits, SearchOutcome
+from .search import (
+    CandidateChecker,
+    Deadline,
+    PriorityQueue,
+    SearchLimits,
+    SearchOutcome,
+    VisitedForms,
+)
 
 
 class TopDownSearch:
@@ -51,9 +58,14 @@ class TopDownSearch:
         deadline = Deadline(self._limits.timeout_seconds)
         queue = PriorityQueue()
         checked: set[str] = set()
+        visited = (
+            VisitedForms(self._limits.max_depth)
+            if self._limits.prune_duplicates
+            else None
+        )
 
         root = DerivationTree(self._grammar)
-        queue.push(0.0, (root, 0.0))
+        queue.push(0.0, (root, 0.0, root.yield_depth()))
 
         while queue:
             if deadline.expired():
@@ -61,10 +73,10 @@ class TopDownSearch:
                 break
             if outcome.nodes_expanded >= self._limits.max_expansions:
                 break
-            _priority, (tree, accumulated_cost) = queue.pop()
+            _priority, (tree, accumulated_cost, depth) = queue.pop()
             outcome.nodes_expanded += 1
 
-            if tree.expression_depth() > self._limits.max_depth:
+            if depth > self._limits.max_depth:
                 continue
 
             if tree.is_complete():
@@ -76,14 +88,27 @@ class TopDownSearch:
                 continue
 
             for production in tree.possible_expansions():
-                expanded = tree.expand_leftmost(production)
                 cost = accumulated_cost + self._costs.production_cost(production)
-                symbols = expanded.yield_symbols()
+                # Score the expansion from a spliced-yield preview; the child
+                # tree is only built if it survives dedup and the penalties.
+                preview = tree.preview_expansion(production)
+                symbols, levels = preview
+                if visited is not None:
+                    complete = not any(is_nonterminal(s) for s in symbols)
+                    if (
+                        visited.should_prune_complete(symbols, levels, cost)
+                        if complete
+                        else visited.should_prune(symbols, levels, cost)
+                    ):
+                        outcome.duplicates_pruned += 1
+                        continue
                 penalty = self._penalties.evaluate(symbols)
                 if math.isinf(penalty):
                     continue
                 heuristic = self._costs.completion_cost(symbols)
-                queue.push(cost + heuristic + penalty, (expanded, cost))
+                expanded = tree.expand_leftmost(production, preview)
+                child_depth = max(levels, default=0)
+                queue.push(cost + heuristic + penalty, (expanded, cost, child_depth))
 
         outcome.exhausted = not queue and not outcome.timed_out
         outcome.elapsed_seconds = deadline.elapsed()

@@ -127,7 +127,7 @@ class StaggSynthesizer:
         examples = IOExampleGenerator(
             task, function, signature, seed=config.seed
         ).generate(config.num_io_examples)
-        validator = TemplateValidator(examples, constants)
+        validator = TemplateValidator(examples, constants, tiered=config.tiered_validation)
         verifier = BoundedEquivalenceChecker(
             task, function, signature, config=config.verifier
         )

@@ -9,6 +9,31 @@ outputs on every input/output example.
 
 Substitutions that bind a tensor symbol to an argument of a different rank
 are discarded up front, mirroring Figure 8 of the paper.
+
+Hot-path architecture
+---------------------
+
+The validator sits on the search's critical path: a single query tries
+thousands of substitutions within its time budget, and the overwhelming
+majority of them are wrong.  Two optimisations keep each attempt cheap:
+
+* **Per-task example pre-conversion.**  Each I/O example's tensors are
+  converted *once*, at construction time, into both a float64
+  :class:`~repro.taco.evaluator.EvaluationContext` and an exact
+  (``Fraction`` object-array) one — instead of re-converting the same
+  arrays from scratch for every candidate.  The contexts also memoize the
+  iteration-space layout per access pattern, which almost never changes
+  between candidates of one template grammar.
+
+* **Tiered validation.**  A fast float64 *screen* evaluates the candidate on
+  a single example and rejects it unless the result matches the recorded
+  output to within a tight tolerance; only survivors pay for the exact
+  ``Fraction`` confirmation over all examples.  Because the screen's inputs
+  are small integers, float64 arithmetic is accurate to ~1e-15 relative
+  while the screen tolerance is 1e-6, so the screen never rejects a
+  candidate the exact tier would accept — tiered and exact-only validation
+  produce identical outcomes (a property the test suite checks on every
+  corpus kernel).
 """
 
 from __future__ import annotations
@@ -30,12 +55,19 @@ from ..taco import (
     UnaryOp,
 )
 from ..taco.errors import TacoError
-from ..taco.evaluator import TacoEvaluator
+from ..taco.evaluator import EvaluationContext, TacoEvaluator
 from .io_examples import IOExample
 
 #: Upper bound on substitutions tried per template; a safety valve against
 #: pathological argument counts (never reached by the corpus).
 MAX_SUBSTITUTIONS = 4096
+
+#: Tolerances for the float64 screen.  Inputs are small integers, so two
+#: genuinely equal rational results differ by at most a few ULPs in float64;
+#: 1e-6 relative leaves ~9 orders of magnitude of slack against a false
+#: reject while still screening out essentially every wrong candidate.
+SCREEN_RTOL = 1e-6
+SCREEN_ATOL = 1e-9
 
 
 @dataclass
@@ -52,6 +84,52 @@ class ValidationResult:
         return self.success
 
 
+@dataclass
+class ValidatorStats:
+    """Hot-path counters, exposed for tests and the perf harness."""
+
+    #: Substitutions evaluated (tiered or not).
+    candidates: int = 0
+    #: Substitutions rejected by the float64 screen (tier 1).
+    screen_rejects: int = 0
+    #: Substitutions that reached the exact tier.
+    exact_checks: int = 0
+
+
+class _ExampleState:
+    """One I/O example pre-converted for both validation tiers.
+
+    The float tier's comparison tolerance (``atol + rtol * |expected|``,
+    matching :func:`numpy.isclose`) is precomputed per element so the screen
+    is two ufunc calls instead of a ``numpy.allclose`` round trip.
+    """
+
+    __slots__ = (
+        "exact_context",
+        "float_context",
+        "exact_output",
+        "float_output",
+        "float_tolerance",
+        "output_shape",
+    )
+
+    def __init__(self, example: IOExample) -> None:
+        self.exact_context = EvaluationContext(example.inputs, mode="exact")
+        self.float_context = EvaluationContext(example.inputs, mode="float")
+        self.output_shape = example.output_shape()
+        self.exact_output = example.output
+        if isinstance(example.output, np.ndarray):
+            self.float_output: Union[float, np.ndarray] = np.asarray(
+                example.output, dtype=np.float64
+            )
+            self.float_tolerance: Union[float, np.ndarray] = (
+                SCREEN_ATOL + SCREEN_RTOL * np.abs(self.float_output)
+            )
+        else:
+            self.float_output = float(example.output)
+            self.float_tolerance = SCREEN_ATOL + SCREEN_RTOL * abs(self.float_output)
+
+
 class TemplateValidator:
     """Validates templates against I/O examples for one lifting task."""
 
@@ -60,14 +138,28 @@ class TemplateValidator:
         examples: Sequence[IOExample],
         constants: Sequence[Union[int, float, Fraction]] = (),
         max_substitutions: int = MAX_SUBSTITUTIONS,
+        tiered: bool = True,
     ) -> None:
         if not examples:
             raise ValueError("the validator needs at least one I/O example")
         self._examples = list(examples)
         self._constants = list(constants) if constants else []
         self._max_substitutions = max_substitutions
-        self._evaluator = TacoEvaluator(mode="exact")
+        self._tiered = tiered
+        self._exact_evaluator = TacoEvaluator(mode="exact")
+        self._float_evaluator = TacoEvaluator(mode="float")
+        self._states = [_ExampleState(example) for example in self._examples]
         self._argument_ranks = self._compute_argument_ranks()
+        self.stats = ValidatorStats()
+
+    @property
+    def tiered(self) -> bool:
+        return self._tiered
+
+    @property
+    def example_states(self) -> Sequence[_ExampleState]:
+        """The pre-converted per-example evaluation state (for tests/benchmarks)."""
+        return self._states
 
     # ------------------------------------------------------------------ #
     # Candidate argument pools
@@ -101,6 +193,13 @@ class TemplateValidator:
         if constant_count and not constant_pool:
             return ValidationResult(success=False, substitutions_tried=0)
 
+        # Per-template precomputation shared by every substitution below.
+        raw_accesses = tuple((a.name, a.indices) for a in template.rhs.tensors())
+        # With at most one Const occurrence the template can be evaluated
+        # directly (symbols aliased to arguments, the constant supplied by
+        # name), deferring instantiation to the single successful candidate.
+        use_alias = constant_count <= 1
+
         tried = 0
         for assignment in itertools.product(*pools) if pools else [()]:
             substitution = {
@@ -115,8 +214,10 @@ class TemplateValidator:
                 tried += 1
                 if tried > self._max_substitutions:
                     return ValidationResult(success=False, substitutions_tried=tried)
-                if self._satisfies_examples(template, substitution, constant_choice):
-                    concrete = instantiate(template, substitution, constant_choice)
+                concrete = self._satisfying_program(
+                    template, substitution, constant_choice, raw_accesses, use_alias
+                )
+                if concrete is not None:
                     constant_values = {
                         f"Const{position or ''}": value
                         for position, value in enumerate(constant_choice)
@@ -155,29 +256,115 @@ class TemplateValidator:
                 stack.append(node.operand)
         return count
 
+    def _satisfying_program(
+        self,
+        template: TacoProgram,
+        substitution: Mapping[str, str],
+        constant_choice: Sequence[Union[int, float, Fraction]],
+        raw_accesses: Optional[Tuple[Tuple[str, Tuple[str, ...]], ...]] = None,
+        use_alias: Optional[bool] = None,
+    ) -> Optional[TacoProgram]:
+        """The instantiated program if it satisfies every example, else None.
+
+        In the common case (at most one ``Const`` occurrence) the template is
+        evaluated *directly*: tensor symbols are aliased onto the substituted
+        arguments and the constant is supplied by name, so the concrete
+        program is instantiated exactly once — for the (rare) successful
+        substitution — and returned for reuse by ``validate``.  Templates
+        with several ``Const`` placeholders need positional constant filling
+        and fall back to instantiating up front.
+        """
+        self.stats.candidates += 1
+        if raw_accesses is None:
+            raw_accesses = tuple((a.name, a.indices) for a in template.rhs.tensors())
+        if use_alias is None:
+            use_alias = self._count_symbolic_constants(template) <= 1
+        access_key = tuple(
+            (substitution.get(name, name), indices) for name, indices in raw_accesses
+        )
+        if use_alias:
+            program: TacoProgram = template
+            aliases: Optional[Mapping[str, str]] = substitution
+            constants = {"Const": constant_choice[0]} if constant_choice else None
+            concrete: Optional[TacoProgram] = None
+        else:
+            program = concrete = instantiate(template, substitution, constant_choice)
+            aliases = None
+            constants = None
+
+        if self._tiered and not self._float_screen(program, access_key, aliases, constants):
+            self.stats.screen_rejects += 1
+            return None
+        self.stats.exact_checks += 1
+        for state in self._states:
+            try:
+                result = self._exact_evaluator.evaluate_in_context(
+                    state.exact_context,
+                    program,
+                    output_shape=state.output_shape,
+                    constants=constants,
+                    aliases=aliases,
+                    access_key=access_key,
+                )
+            except (TacoError, KeyError, ZeroDivisionError):
+                return None
+            if not _outputs_equal(result, state.exact_output):
+                return None
+        if concrete is None:
+            concrete = instantiate(template, substitution, constant_choice)
+        return concrete
+
+    def _float_screen(
+        self,
+        program: TacoProgram,
+        access_key: Optional[Tuple[Tuple[str, Tuple[str, ...]], ...]] = None,
+        aliases: Optional[Mapping[str, str]] = None,
+        constants: Optional[Mapping[str, Union[int, float, Fraction]]] = None,
+    ) -> bool:
+        """Tier 1: cheap float64 evaluation of one example.
+
+        Returns False only when the candidate is definitely wrong; anything
+        uncertain (including evaluation errors, which the exact tier rejects
+        too) falls through to the exact tier or is a guaranteed exact reject.
+        """
+        state = self._states[0]
+        try:
+            result = self._float_evaluator.evaluate_in_context(
+                state.float_context,
+                program,
+                output_shape=state.output_shape,
+                constants=constants,
+                aliases=aliases,
+                access_key=access_key,
+            )
+        except (TacoError, KeyError, ZeroDivisionError):
+            # The exact tier fails identically on this example: a float64
+            # error here (missing binding, rank mismatch, scalar division by
+            # zero) has the same cause in exact arithmetic.
+            return False
+        expected = state.float_output
+        if isinstance(expected, np.ndarray):
+            actual = np.asarray(result, dtype=np.float64)
+            if actual.shape != expected.shape:
+                return False
+            # |actual - expected| <= atol + rtol * |expected|, with the right
+            # side precomputed per example.  NaN/inf differences compare
+            # False and reject, exactly like numpy.allclose.
+            return bool((np.abs(actual - expected) <= state.float_tolerance).all())
+        try:
+            actual_scalar = float(result)
+        except (TypeError, ValueError):
+            return False
+        return abs(actual_scalar - expected) <= state.float_tolerance
+
     def _satisfies_examples(
         self,
         template: TacoProgram,
         substitution: Mapping[str, str],
         constant_choice: Sequence[Union[int, float, Fraction]],
     ) -> bool:
-        concrete = instantiate(template, substitution, constant_choice)
-        for example in self._examples:
-            try:
-                bindings = {
-                    name: example.inputs[name]
-                    for name in {access.name for access in concrete.rhs.tensors()}
-                }
-                result = self._evaluator.evaluate(
-                    concrete,
-                    bindings,
-                    output_shape=example.output_shape(),
-                )
-            except (TacoError, KeyError, ZeroDivisionError):
-                return False
-            if not _outputs_equal(result, example.output):
-                return False
-        return True
+        """Back-compat shim over :meth:`_satisfying_program`."""
+        return self._satisfying_program(template, substitution, constant_choice) is not None
 
 
 def instantiate(
@@ -218,16 +405,21 @@ def instantiate(
 
 
 def _outputs_equal(actual, expected) -> bool:
-    """Exact comparison between evaluator output and recorded C output."""
+    """Exact comparison between evaluator output and recorded C output.
+
+    Array comparison happens element-wise inside NumPy's object-array
+    equality loop (``Fraction.__eq__`` compares exactly against ints, floats
+    and other Fractions), avoiding a Python-level loop that re-wraps every
+    element in a fresh ``Fraction``.
+    """
     if isinstance(expected, np.ndarray) or isinstance(actual, np.ndarray):
         actual_arr = np.asarray(actual, dtype=object)
         expected_arr = np.asarray(expected, dtype=object)
         if actual_arr.shape != expected_arr.shape:
             return False
-        for a, e in zip(actual_arr.reshape(-1), expected_arr.reshape(-1)):
-            if Fraction(a) != Fraction(e):
-                return False
-        return True
+        if actual_arr.size == 0:
+            return True
+        return bool(np.all(actual_arr == expected_arr))
     try:
         return Fraction(actual) == Fraction(expected)
     except (TypeError, ValueError):

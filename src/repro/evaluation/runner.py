@@ -4,17 +4,31 @@ The runner treats every method — STAGG configurations and baselines alike —
 through the same ``lift(task) -> SynthesisReport`` interface, runs each over
 a list of benchmarks with a per-query time budget, and collects the records
 the tables and figures of Section 8 are built from.
+
+Full-corpus sweeps are embarrassingly parallel — every (method, benchmark)
+cell is an independent lifting run — so the runner optionally fans the cells
+out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Parallel runs
+produce records in exactly the same deterministic (method, benchmark) order
+as sequential runs, and because every built-in lifter is stateless across
+queries (the synthetic oracle derives its RNG per query), the synthesis
+outcomes match a sequential run for every query that finishes within its
+time budget.  The per-query budget is *wall-clock*, so oversubscribing the
+machine (more workers than cores) slows each concurrent search down and can
+time out a query that a sequential run would solve right at the deadline —
+keep ``workers`` at or below the core count for comparable sweeps.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..baselines import C2TacoLifter, LLMOnlyLifter, TenspilerLifter
 from ..core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
 from ..core.result import SynthesisReport
+from ..core.task import LiftingTask
 from ..llm import LLMOracle, OracleConfig, SyntheticOracle
 from ..suite import Benchmark
 
@@ -96,20 +110,47 @@ class EvaluationResult:
         return EvaluationResult(records=self.records + other.records)
 
 
+def _run_cell(
+    label: str, lifter: Lifter, task: LiftingTask, benchmark_name: str, category: str
+) -> RunRecord:
+    """Execute one (method, benchmark) cell.
+
+    Module-level so worker processes can unpickle it; receives the
+    :class:`LiftingTask` (pure data) rather than the benchmark object, whose
+    reference-implementation callable is not needed for lifting.
+    """
+    report = lifter.lift(task)
+    return RunRecord(
+        method=label, benchmark=benchmark_name, category=category, report=report
+    )
+
+
 class EvaluationRunner:
-    """Runs a set of methods over a set of benchmarks."""
+    """Runs a set of methods over a set of benchmarks.
+
+    ``workers`` selects the execution strategy: ``None``/``0``/``1`` runs
+    every cell sequentially in-process, ``>= 2`` fans the cells out over a
+    process pool with one (method, benchmark) cell per task.  Records are
+    collected in submission order, so the record order is deterministic and
+    outcomes match a sequential run whenever queries finish within their
+    wall-clock budgets (see the module docstring about oversubscription).
+    """
 
     def __init__(
         self,
         methods: Mapping[str, Lifter],
         benchmarks: Sequence[Benchmark],
         progress: Optional[Callable[[str, str, SynthesisReport], None]] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._methods = dict(methods)
         self._benchmarks = list(benchmarks)
         self._progress = progress
+        self._workers = int(workers) if workers else 0
 
     def run(self) -> EvaluationResult:
+        if self._workers > 1:
+            return self._run_parallel()
         result = EvaluationResult()
         for label, lifter in self._methods.items():
             for benchmark in self._benchmarks:
@@ -123,6 +164,28 @@ class EvaluationRunner:
                 result.records.append(record)
                 if self._progress is not None:
                     self._progress(label, benchmark.name, report)
+        return result
+
+    def _run_parallel(self) -> EvaluationResult:
+        result = EvaluationResult()
+        with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_cell,
+                    label,
+                    lifter,
+                    benchmark.task(),
+                    benchmark.name,
+                    benchmark.category,
+                )
+                for label, lifter in self._methods.items()
+                for benchmark in self._benchmarks
+            ]
+            for future in futures:
+                record = future.result()
+                result.records.append(record)
+                if self._progress is not None:
+                    self._progress(record.method, record.benchmark, record.report)
         return result
 
 

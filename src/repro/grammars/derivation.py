@@ -17,6 +17,14 @@ the path from the root to the expanded non-terminal and shares every other
 subtree with its parent tree, and every node carries a ``complete`` flag, so
 expansion and completeness checks cost O(depth) instead of O(tree size).
 This matters: the A* searches expand tens of thousands of trees per query.
+
+Yields are carried *incrementally*: a tree caches its yield (and, per yield
+element, the nesting level of enclosing expression non-terminals), and
+expansion splices the applied production's right-hand side into the parent's
+cached yield instead of re-walking the tree from the root.  The searches can
+additionally *preview* an expansion — obtain the child's yield without
+building the child tree at all — which lets them prune duplicate sentential
+forms and infinite-penalty forms before paying for node construction.
 """
 
 from __future__ import annotations
@@ -102,12 +110,27 @@ class DerivationNode:
         return f"DerivationNode({self.symbol!r}, expanded={self.is_expanded})"
 
 
+#: Non-terminal names whose nesting defines the expression depth measure of
+#: Section 5.1; also the default of :meth:`DerivationTree.expression_depth`.
+EXPRESSION_NONTERMINALS: Tuple[str, ...] = ("EXPR",)
+
+
 class DerivationTree:
     """A (possibly partial) derivation tree rooted at the grammar's start symbol."""
 
-    def __init__(self, grammar: ContextFreeGrammar, root: Optional[DerivationNode] = None):
+    def __init__(
+        self,
+        grammar: ContextFreeGrammar,
+        root: Optional[DerivationNode] = None,
+        yield_cache: Optional[Tuple[Symbol, ...]] = None,
+        levels_cache: Optional[Tuple[int, ...]] = None,
+    ):
         self._grammar = grammar
         self._root = root if root is not None else DerivationNode(grammar.start)
+        #: Cached yield and per-element EXPR-nesting levels; filled lazily by
+        #: the first yield access and carried forward by expand_leftmost.
+        self._yield = yield_cache
+        self._levels = levels_cache
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -121,7 +144,7 @@ class DerivationTree:
         return self._root
 
     def clone(self) -> "DerivationTree":
-        return DerivationTree(self._grammar, self._root.clone())
+        return DerivationTree(self._grammar, self._root.clone(), self._yield, self._levels)
 
     # ------------------------------------------------------------------ #
     # Completeness / yields
@@ -131,10 +154,51 @@ class DerivationTree:
         return self._root.complete
 
     def yield_symbols(self) -> Tuple[Symbol, ...]:
-        """The yield of the tree: terminals for expanded parts, non-terminals otherwise."""
-        out: List[Symbol] = []
-        self._collect_yield(self._root, out)
-        return tuple(out)
+        """The yield of the tree: terminals for expanded parts, non-terminals otherwise.
+
+        Cached: the first call walks the tree, subsequent calls (and trees
+        produced by :meth:`expand_leftmost`) answer from the carried yield.
+        """
+        if self._yield is None:
+            self._fill_yield_caches()
+        return self._yield  # type: ignore[return-value]
+
+    def yield_levels(self) -> Tuple[int, ...]:
+        """Per-yield-element nesting level of expression non-terminals.
+
+        Element *k* counts the ancestors of the *k*-th yield element (the
+        element itself included when it is an unexpanded expression
+        non-terminal) whose symbol is in :data:`EXPRESSION_NONTERMINALS`.
+        ``max(yield_levels())`` equals :meth:`expression_depth` for grammars
+        whose expression non-terminals have no epsilon productions — which
+        holds for every template grammar STAGG generates.
+        """
+        if self._levels is None:
+            self._fill_yield_caches()
+        return self._levels  # type: ignore[return-value]
+
+    def yield_depth(self) -> int:
+        """``max(yield_levels())`` — the searches' fast expression depth."""
+        return max(self.yield_levels(), default=0)
+
+    def _fill_yield_caches(self) -> None:
+        symbols: List[Symbol] = []
+        levels: List[int] = []
+        self._walk_yield(self._root, 0, symbols, levels)
+        self._yield = tuple(symbols)
+        self._levels = tuple(levels)
+
+    def _walk_yield(
+        self, node: DerivationNode, level: int, symbols: List[Symbol], levels: List[int]
+    ) -> None:
+        if not node.terminal and str(node.symbol) in EXPRESSION_NONTERMINALS:
+            level += 1
+        if node.terminal or not node.is_expanded:
+            symbols.append(node.symbol)
+            levels.append(level)
+            return
+        for child in node.children:
+            self._walk_yield(child, level, symbols, levels)
 
     def yield_tokens(self) -> Tuple[str, ...]:
         """The terminal-only yield.  Raises if the tree is not complete."""
@@ -147,13 +211,6 @@ class DerivationTree:
         """The yield joined into a single string (partial trees show non-terminals)."""
         return separator.join(str(s) for s in self.yield_symbols())
 
-    def _collect_yield(self, node: DerivationNode, out: List[Symbol]) -> None:
-        if node.terminal or not node.is_expanded:
-            out.append(node.symbol)
-            return
-        for child in node.children:
-            self._collect_yield(child, out)
-
     # ------------------------------------------------------------------ #
     # Expansion
     # ------------------------------------------------------------------ #
@@ -162,17 +219,54 @@ class DerivationTree:
         node = self._leftmost_unexpanded(self._root)
         return None if node is None else node.symbol  # type: ignore[return-value]
 
-    def expand_leftmost(self, production: Production) -> "DerivationTree":
+    def expand_leftmost(
+        self,
+        production: Production,
+        preview: Optional[Tuple[Tuple[Symbol, ...], Tuple[int, ...]]] = None,
+    ) -> "DerivationTree":
         """Return a new tree with the leftmost unexpanded non-terminal expanded.
 
         The original tree is not modified.  Only the nodes on the path from
         the root to the expanded non-terminal are copied; all other subtrees
-        are shared between the old and the new tree.
+        are shared between the old and the new tree.  The child's yield is
+        derived by splicing *production*'s right-hand side into this tree's
+        cached yield, never by re-walking the child from the root; a caller
+        that already holds :meth:`preview_expansion`'s result for the same
+        production can pass it as *preview* to skip re-splicing.
         """
         new_root = self._expand_path(self._root, production)
         if new_root is None:
             raise GrammarError("cannot expand a complete derivation tree")
-        return DerivationTree(self._grammar, new_root)
+        if preview is None:
+            preview = self.preview_expansion(production)
+        new_yield, new_levels = preview
+        return DerivationTree(self._grammar, new_root, new_yield, new_levels)
+
+    def preview_expansion(
+        self, production: Production
+    ) -> Tuple[Tuple[Symbol, ...], Tuple[int, ...]]:
+        """The (yield, levels) an expand_leftmost(production) child would have.
+
+        This costs one tuple splice — no derivation nodes are built — so the
+        searches can score, deduplicate and discard candidate expansions
+        before constructing the surviving trees.
+        """
+        symbols = self.yield_symbols()
+        levels = self.yield_levels()
+        position = next(
+            (i for i, symbol in enumerate(symbols) if is_nonterminal(symbol)), None
+        )
+        if position is None:
+            raise GrammarError("cannot expand a complete derivation tree")
+        base = levels[position]
+        spliced_levels = tuple(
+            base + (1 if is_nonterminal(symbol) and symbol.name in EXPRESSION_NONTERMINALS else 0)
+            for symbol in production.rhs
+        )
+        return (
+            symbols[:position] + tuple(production.rhs) + symbols[position + 1 :],
+            levels[:position] + spliced_levels + levels[position + 1 :],
+        )
 
     def _expand_path(
         self, node: DerivationNode, production: Production
@@ -235,7 +329,9 @@ class DerivationTree:
         for child in node.children:
             self._collect_productions(child, out)
 
-    def expression_depth(self, expression_nonterminals: Sequence[str] = ("EXPR",)) -> int:
+    def expression_depth(
+        self, expression_nonterminals: Sequence[str] = EXPRESSION_NONTERMINALS
+    ) -> int:
         """Depth of the expression AST, *excluding* index expressions.
 
         The paper measures template depth such that ``b(i)`` and ``c(i,j)``

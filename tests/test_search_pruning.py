@@ -1,0 +1,174 @@
+"""Tests for incremental yields and visited-form pruning in the searches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfront.analysis import analyze_signature, harvest_constants
+from repro.core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
+from repro.core.search import VisitedForms
+from repro.grammars import DerivationTree
+from repro.llm import OracleConfig, SyntheticOracle
+from repro.suite import all_benchmarks
+
+
+def _lift(benchmark, style, prune, timeout=10.0):
+    limits = SearchLimits(
+        max_expansions=120_000,
+        max_candidates=2_400,
+        timeout_seconds=timeout,
+        prune_duplicates=prune,
+    )
+    config = StaggConfig(
+        search=style,
+        limits=limits,
+        verifier=VerifierConfig(size_bound=2, exhaustive_cap=729, sampled_checks=24),
+    )
+    return StaggSynthesizer(SyntheticOracle(OracleConfig()), config).lift(
+        benchmark.task()
+    )
+
+
+class TestVisitedFormPruning:
+    @pytest.mark.parametrize("name", ["blend.weighted_sum", "darknet.axpy_cpu"])
+    def test_topdown_node_counts_strictly_drop_outcomes_unchanged(self, name):
+        """Multi-operand kernels search long enough to generate duplicates."""
+        by_name = {b.name: b for b in all_benchmarks()}
+        bench = by_name[name]
+        pruned = _lift(bench, "topdown", prune=True)
+        unpruned = _lift(bench, "topdown", prune=False)
+        assert pruned.success == unpruned.success
+        assert str(pruned.template) == str(unpruned.template)
+        assert str(pruned.lifted_program) == str(unpruned.lifted_program)
+        # The top-down EXPR grammar is ambiguous, so duplicates exist and the
+        # visited set must strictly reduce the expansion count.
+        assert pruned.nodes_expanded < unpruned.nodes_expanded
+
+    def test_topdown_short_searches_are_untouched(self):
+        """A kernel solved before any duplicate arises: identical trajectories."""
+        bench = {b.name: b for b in all_benchmarks()}["darknet.forward_connected"]
+        pruned = _lift(bench, "topdown", prune=True)
+        unpruned = _lift(bench, "topdown", prune=False)
+        assert pruned.success and unpruned.success
+        assert str(pruned.lifted_program) == str(unpruned.lifted_program)
+        assert pruned.nodes_expanded == unpruned.nodes_expanded
+        assert pruned.attempts == unpruned.attempts
+
+    def test_bottomup_outcomes_unchanged(self):
+        by_name = {b.name: b for b in all_benchmarks()}
+        bench = by_name["blend.weighted_sum"]
+        pruned = _lift(bench, "bottomup", prune=True)
+        unpruned = _lift(bench, "bottomup", prune=False)
+        assert pruned.success == unpruned.success
+        assert str(pruned.lifted_program) == str(unpruned.lifted_program)
+        # The chain grammar derives every sentential form uniquely, so the
+        # visited set never prunes — and must never change anything.
+        assert pruned.nodes_expanded == unpruned.nodes_expanded
+
+    def test_visited_forms_dominance(self):
+        visited = VisitedForms()
+        form = ("a", "+", "b")
+        levels = (2, 1, 2)
+        assert not visited.should_prune(form, levels, cost=2.0)
+        # Duplicate state at worse-or-equal cost: pruned.
+        assert visited.should_prune(form, levels, cost=2.0)
+        assert visited.should_prune(form, levels, cost=5.0)
+        # A cheaper occurrence survives and tightens the record.
+        assert not visited.should_prune(form, levels, cost=1.0)
+        assert visited.should_prune(form, levels, cost=1.5)
+        # Same yield at different nesting levels is a *different* state:
+        # its completions reach different expression depths, so it is kept.
+        assert not visited.should_prune(form, (3, 2, 3), cost=5.0)
+        assert len(visited) == 2
+
+    def test_visited_complete_forms_respect_depth_budget(self):
+        visited = VisitedForms(max_depth=3)
+        form = ("a(i)", "=", "b(i)", "+", "c(i)")
+        # First derivation is too deep to ever be checked (depth 5 > 3)...
+        assert not visited.should_prune_complete(form, (1, 1, 5, 1, 5), cost=2.0)
+        # ...so an in-budget derivation of the same sentence must survive,
+        # even at higher cost: it is the only copy the search will check.
+        assert not visited.should_prune_complete(form, (1, 1, 3, 1, 3), cost=4.0)
+        # Now a checkable copy is recorded: equal-or-worse-cost duplicates
+        # are redundant (same tokens -> same template)...
+        assert visited.should_prune_complete(form, (1, 1, 2, 1, 2), cost=4.0)
+        # ...as is any derivation the depth check would discard anyway.
+        assert visited.should_prune_complete(form, (1, 1, 6, 1, 6), cost=9.0)
+        # A cheaper derivation still gets through.
+        assert not visited.should_prune_complete(form, (1, 1, 3, 1, 3), cost=1.0)
+
+
+class TestIncrementalYields:
+    def _topdown_grammar(self):
+        from repro.core.grammar_gen import topdown_template_grammar
+        from repro.core.templates import templatize_all
+        from repro.llm import LiftingQuery
+
+        bench = {b.name: b for b in all_benchmarks()}["blend.weighted_sum"]
+        oracle = SyntheticOracle(OracleConfig())
+        response = oracle.propose(
+            LiftingQuery(
+                c_source=bench.c_source,
+                name=bench.name,
+                reference_solution=bench.ground_truth,
+            )
+        )
+        templates = templatize_all(response.candidates)
+        program = templates[0].program if templates else None
+        dimension_list = (1, 1, 1, 1)
+        return topdown_template_grammar(dimension_list, 1, templates)
+
+    def test_preview_matches_expansion_and_walk(self):
+        """Spliced yields/levels equal the from-scratch tree walk, everywhere."""
+        grammar = self._topdown_grammar()
+        frontier = [DerivationTree(grammar)]
+        seen = 0
+        while frontier and seen < 300:
+            tree = frontier.pop()
+            for production in tree.possible_expansions():
+                preview_symbols, preview_levels = tree.preview_expansion(production)
+                child = tree.expand_leftmost(production)
+                assert child.yield_symbols() == preview_symbols
+                assert child.yield_levels() == preview_levels
+                # Ground truth: a fresh tree sharing the root but no caches.
+                fresh = DerivationTree(grammar, child.root)
+                assert fresh.yield_symbols() == preview_symbols
+                assert fresh.yield_levels() == preview_levels
+                assert child.yield_depth() == fresh.expression_depth()
+                seen += 1
+                if not child.is_complete():
+                    frontier.append(child)
+
+    def test_yield_depth_matches_expression_depth_on_search_trees(self):
+        grammar = self._topdown_grammar()
+        frontier = [DerivationTree(grammar)]
+        checked = 0
+        while frontier and checked < 500:
+            tree = frontier.pop()
+            assert tree.yield_depth() == tree.expression_depth()
+            checked += 1
+            for production in tree.possible_expansions():
+                child = tree.expand_leftmost(production)
+                if child.expression_depth() <= 4:
+                    frontier.append(child)
+
+
+class TestPenaltyMemoization:
+    def test_memoized_evaluate_matches_view_path(self):
+        from repro.core.penalties import (
+            PenaltyContext,
+            PenaltyEvaluator,
+            view_from_symbols,
+        )
+
+        context = PenaltyContext(
+            dimension_list=(1, 1, 1),
+            grammar_has_constant=True,
+            observed_operators=frozenset({"+", "*"}),
+        )
+        evaluator = PenaltyEvaluator.topdown(context)
+        symbols = ("a(i)", "=", "b(i)", "+", "c(i)")
+        first = evaluator.evaluate(symbols)
+        second = evaluator.evaluate(list(symbols))  # sequence type irrelevant
+        assert first == second
+        assert first == evaluator.evaluate_view(view_from_symbols(symbols))

@@ -1,0 +1,175 @@
+"""Tests for the two-tier (float-screen / exact-confirm) validator."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.validator as validator_module
+from repro.cfront.analysis import analyze_signature, harvest_constants
+from repro.core.io_examples import IOExampleGenerator
+from repro.core.templates import templatize, templatize_all
+from repro.core.validator import TemplateValidator, instantiate
+from repro.llm import LiftingQuery, OracleConfig, SyntheticOracle
+from repro.suite import all_benchmarks
+from repro.taco import parse_program
+
+
+def _validation_fixture(benchmark, seed: int = 7):
+    task = benchmark.task()
+    function = task.parse()
+    signature = analyze_signature(function)
+    constants = harvest_constants(function)
+    examples = IOExampleGenerator(task, function, signature, seed=seed).generate(3)
+    return examples, constants
+
+
+def _candidate_templates(benchmark):
+    """The ground-truth template plus the oracle's (mostly wrong) candidates."""
+    templates = [templatize(parse_program(benchmark.ground_truth)).program]
+    oracle = SyntheticOracle(OracleConfig())
+    response = oracle.propose(
+        LiftingQuery(
+            c_source=benchmark.c_source,
+            name=benchmark.name,
+            reference_solution=benchmark.ground_truth,
+        )
+    )
+    templates.extend(t.program for t in templatize_all(response.candidates))
+    return templates
+
+
+class TestTierAgreement:
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_tiered_and_exact_only_agree_on_suite_kernel(self, bench):
+        """Tier screening never changes a validation verdict, corpus-wide."""
+        examples, constants = _validation_fixture(bench)
+        tiered = TemplateValidator(examples, constants, tiered=True)
+        exact_only = TemplateValidator(examples, constants, tiered=False)
+        for template in _candidate_templates(bench):
+            a = tiered.validate(template)
+            b = exact_only.validate(template)
+            assert a.success == b.success, str(template)
+            assert a.substitution == b.substitution, str(template)
+            assert a.constant_values == b.constant_values, str(template)
+            assert str(a.concrete_program) == str(b.concrete_program), str(template)
+            assert a.substitutions_tried == b.substitutions_tried, str(template)
+        # Every substitution the screen rejected was saved from the exact
+        # tier (trivial kernels may have nothing to reject: every candidate
+        # substitution of a copy kernel really does match).
+        assert (
+            tiered.stats.exact_checks
+            == tiered.stats.candidates - tiered.stats.screen_rejects
+        )
+
+
+class TestHotPathMechanics:
+    def _dot_benchmark(self):
+        by_name = {b.name: b for b in all_benchmarks()}
+        return by_name["darknet.forward_connected"]
+
+    def test_ground_truth_validates_and_instantiates_once(self, monkeypatch):
+        benchmark = self._dot_benchmark()
+        examples, constants = _validation_fixture(benchmark)
+        validator = TemplateValidator(examples, constants, tiered=True)
+        template = templatize(parse_program(benchmark.ground_truth)).program
+
+        calls = {"count": 0}
+        real_instantiate = validator_module.instantiate
+
+        def counting_instantiate(*args, **kwargs):
+            calls["count"] += 1
+            return real_instantiate(*args, **kwargs)
+
+        monkeypatch.setattr(validator_module, "instantiate", counting_instantiate)
+        result = validator.validate(template)
+        assert result.success
+        assert result.concrete_program is not None
+        # One instantiation total: the successful substitution's, returned to
+        # the caller; wrong substitutions are alias-evaluated without ever
+        # building a renamed program, and validate() does not rebuild it.
+        assert calls["count"] == 1
+
+    def test_returned_program_matches_substitution(self):
+        benchmark = self._dot_benchmark()
+        examples, constants = _validation_fixture(benchmark)
+        validator = TemplateValidator(examples, constants)
+        template = templatize(parse_program(benchmark.ground_truth)).program
+        result = validator.validate(template)
+        assert result.success
+        rebuilt = instantiate(
+            template,
+            result.substitution,
+            list(result.constant_values.values()),
+        )
+        assert str(rebuilt) == str(result.concrete_program)
+
+    def test_evaluation_context_layouts_are_reused_across_candidates(self):
+        benchmark = self._dot_benchmark()
+        examples, constants = _validation_fixture(benchmark)
+        validator = TemplateValidator(examples, constants, tiered=True)
+        templates = _candidate_templates(benchmark)
+        for template in templates:
+            validator.validate(template)
+        screen_context = validator.example_states[0].float_context
+        assert validator.stats.candidates >= len(templates)
+        # The float screen runs once per candidate; distinct layouts are rare
+        # (one per access pattern x substitution), so the cache must absorb
+        # repeat traffic across the candidate stream.
+        assert screen_context.layout_hits > 0
+        assert screen_context.layout_misses < validator.stats.candidates
+        # Screens that raise inside the layout computation (e.g. extent
+        # mismatches) count as neither hit nor miss, so <= rather than ==.
+        assert (
+            screen_context.layout_hits + screen_context.layout_misses
+            <= validator.stats.candidates
+        )
+        assert screen_context.layout_hits >= screen_context.layout_misses
+
+    def test_constant_templates_validate_identically(self):
+        by_name = {b.name: b for b in all_benchmarks()}
+        benchmark = by_name["blend.lift_black_level"]
+        examples, constants = _validation_fixture(benchmark)
+        assert constants, "kernel should harvest its literal constant"
+        template = templatize(parse_program(benchmark.ground_truth)).program
+        tiered = TemplateValidator(examples, constants, tiered=True).validate(template)
+        exact = TemplateValidator(examples, constants, tiered=False).validate(template)
+        assert tiered.success and exact.success
+        assert tiered.constant_values == exact.constant_values
+        assert str(tiered.concrete_program) == str(exact.concrete_program)
+
+    def test_stats_track_screen_and_exact_tiers(self):
+        benchmark = self._dot_benchmark()
+        examples, constants = _validation_fixture(benchmark)
+        validator = TemplateValidator(examples, constants, tiered=True)
+        # A wrong template: every substitution should die in the screen.
+        wrong = templatize(parse_program("a(i) = b(i,j) + c(j)")).program
+        result = validator.validate(wrong)
+        assert not result.success
+        assert validator.stats.candidates == result.substitutions_tried
+        assert validator.stats.screen_rejects == validator.stats.candidates
+        assert validator.stats.exact_checks == 0
+
+    def test_untiered_validator_skips_screen(self):
+        benchmark = self._dot_benchmark()
+        examples, constants = _validation_fixture(benchmark)
+        validator = TemplateValidator(examples, constants, tiered=False)
+        template = templatize(parse_program(benchmark.ground_truth)).program
+        assert validator.validate(template).success
+        assert validator.stats.screen_rejects == 0
+        assert validator.stats.exact_checks == validator.stats.candidates
+
+
+class TestDivisionKernels:
+    @pytest.mark.parametrize(
+        "name", ["blend.divide_blend", "darknet.scale_mask", "blend.attenuate"]
+    )
+    def test_division_kernels_agree_between_tiers(self, name):
+        """Division kernels exercise the inf/nan screen paths."""
+        by_name = {b.name: b for b in all_benchmarks()}
+        benchmark = by_name[name]
+        examples, constants = _validation_fixture(benchmark)
+        template = templatize(parse_program(benchmark.ground_truth)).program
+        tiered = TemplateValidator(examples, constants, tiered=True).validate(template)
+        exact = TemplateValidator(examples, constants, tiered=False).validate(template)
+        assert tiered.success == exact.success
+        assert str(tiered.concrete_program) == str(exact.concrete_program)
