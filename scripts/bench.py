@@ -39,8 +39,22 @@ def main(argv=None) -> int:
         "--output", default=None,
         help="explicit output path (overrides --tag)",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing record (without this, writing over an "
+        "existing BENCH_<tag>.json is refused — a reused tag would "
+        "silently destroy a prior PR's baseline)",
+    )
     args = parser.parse_args(argv)
     output = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{args.tag}.json"
+    if output.exists() and not args.force:
+        print(
+            f"refusing to overwrite existing {output}: that would destroy a "
+            f"committed perf baseline.  Pick a fresh --tag for this PR, or "
+            f"pass --force if you really mean to replace it.",
+            file=sys.stderr,
+        )
+        return 2
     record = write_perf_record(output, scope=args.scope)
     validator = record["validator"]
     search = record["search"]

@@ -16,6 +16,16 @@ The CLI exposes the library's main entry points without writing any Python:
 ``python -m repro evaluate``
     Run the evaluation harness over a corpus slice and print the paper's
     tables and figures.
+``python -m repro serve``
+    Run the lifting service: an HTTP front end over the job scheduler and
+    the content-addressed result store.
+``python -m repro submit <name-or-file.c>``
+    Submit one lift to a running service and (by default) wait for the
+    result.
+
+``lift`` and ``evaluate`` accept ``--cache-dir`` to read and write the same
+result store the service uses, so repeated lifts and warm-cache corpus
+sweeps are answered without re-running synthesis.
 
 The CLI is a thin shell over the public API; every subcommand returns a
 process exit status (0 on success) and prints to stdout, so it is easy to
@@ -28,7 +38,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
 from .core.task import InputSpec, LiftingTask
@@ -51,6 +61,7 @@ from .evaluation import (
     table2,
     table3,
     text_report,
+    validate_workers,
 )
 from .llm import (
     LiftingQuery,
@@ -136,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="what to print for the lifted program (default: taco)",
     )
     lift.add_argument("--seed", type=int, default=7, help="I/O-example seed")
+    lift.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result store to consult and update (same "
+        "layout as the service's); repeated identical lifts are answered "
+        "from the store without re-running synthesis",
+    )
 
     evaluate = subparsers.add_parser("evaluate", help="run the evaluation harness")
     evaluate.add_argument(
@@ -160,9 +177,83 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=2025, help="oracle seed")
     evaluate.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for the sweep (1 = sequential; keep at or "
-        "below the core count — per-query budgets are wall-clock, so "
+        help="worker processes for the sweep (1 = sequential; values above "
+        "the core count are clamped — per-query budgets are wall-clock, so "
         "oversubscription can time out borderline queries)",
+    )
+    evaluate.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result store for the sweep: cells already "
+        "stored replay their recorded reports (warm sweeps are near-"
+        "instant and byte-identical to the cold run); cold cells are "
+        "persisted for next time.  Never benchmark against a warm cache "
+        "without saying so.",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the lifting service (HTTP front end)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 picks a free port; default: 8642)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result store root (omit for an in-memory-only "
+        "service that re-runs every unique request)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="scheduler worker count"
+    )
+    serve.add_argument(
+        "--processes", action="store_true",
+        help="run jobs in a process pool instead of worker threads",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="default per-job time budget (s) for requests without one",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one lift to a running service over HTTP"
+    )
+    submit.add_argument("target", help="benchmark name or path to a .c file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="base URL of the service (default: http://127.0.0.1:8642)",
+    )
+    submit.add_argument(
+        "--reference", default=None,
+        help="ground-truth TACO expression (required for raw .c files "
+        "unless --candidate is given)",
+    )
+    submit.add_argument(
+        "--candidate", action="append", default=None,
+        help="explicit candidate TACO expression (repeatable)",
+    )
+    submit.add_argument(
+        "--spec", default=None,
+        help="path to a JSON input specification for a raw .c file",
+    )
+    submit.add_argument(
+        "--search", choices=("topdown", "bottomup"), default="topdown"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="time budget (s); omit to use the service's default",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="job priority (lower runs first; default: 0)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return instead of waiting for the result",
+    )
+    submit.add_argument(
+        "--wait", type=float, default=120.0,
+        help="seconds to wait for the result (with the default blocking mode)",
     )
 
     return parser
@@ -328,8 +419,17 @@ def _cmd_lift(args: argparse.Namespace) -> int:
         seed=args.seed,
         label=f"STAGG_{'TD' if args.search == 'topdown' else 'BU'}",
     )
-    report = StaggSynthesizer(oracle, config).lift(task)
-    print(report.summary())
+    synthesizer = StaggSynthesizer(oracle, config)
+    cached = False
+    if args.cache_dir:
+        from .service import CachedLifter
+
+        lifter = CachedLifter(synthesizer, args.cache_dir)
+        report = lifter.lift(task)
+        cached = lifter.store.hits > 0
+    else:
+        report = synthesizer.lift(task)
+    print(report.summary() + (" [served from cache]" if cached else ""))
     if not report.success:
         if report.error:
             print(f"error: {report.error}", file=sys.stderr)
@@ -363,6 +463,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if not benchmarks:
         print("no benchmarks selected", file=sys.stderr)
         return 1
+    try:
+        workers = validate_workers(args.workers)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.workers and workers < args.workers:
+        print(
+            f"note: --workers {args.workers} clamped to {workers} "
+            f"(machine core count)",
+            file=sys.stderr,
+        )
     oracle = SyntheticOracle(OracleConfig(seed=args.seed))
     methods = _method_factory(args.methods)(
         oracle=oracle, timeout_seconds=args.timeout
@@ -371,12 +482,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         f"running {len(methods)} methods over {len(benchmarks)} benchmarks "
         f"(timeout {args.timeout:.0f}s per query)"
     )
-    result = EvaluationRunner(
+    runner = EvaluationRunner(
         methods,
         benchmarks,
         progress=lambda method, name, report: print(f"  {report.summary()}"),
-        workers=args.workers,
-    ).run()
+        workers=workers,
+        cache_dir=args.cache_dir,
+    )
+    result = runner.run()
+    if args.cache_dir:
+        from .service import ResultStore
+
+        print(
+            f"result store: {len(ResultStore(args.cache_dir))} entries "
+            f"under {args.cache_dir} (warm-cache records replay recorded "
+            f"timings — do not quote them as fresh measurements)"
+        )
 
     if args.table == 1:
         print(format_table(table1(result), "Table 1 (reproduced)"))
@@ -407,6 +528,144 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# serve / submit: the lifting service
+# ---------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import LiftingService, make_server
+
+    if args.workers < 1:
+        print(
+            f"--workers must be a positive integer (got {args.workers})",
+            file=sys.stderr,
+        )
+        return 2
+    service = LiftingService(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        use_processes=args.processes,
+        default_timeout=args.timeout,
+    )
+    server = make_server(args.host, args.port, service)
+    host, port = server.server_address[:2]
+    print(
+        f"lifting service listening on http://{host}:{port} "
+        f"(workers={args.workers}, cache={args.cache_dir or 'disabled'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _http_json(url: str, payload: Optional[dict] = None) -> Tuple[int, dict]:
+    """One JSON request to the service; returns (status, decoded body)."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            body = {"error": str(error)}
+        return error.code, body
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """Build the /submit payload implied by the CLI arguments."""
+    payload: dict = {"search": args.search, "priority": args.priority}
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+    path = Path(args.target)
+    if path.suffix == ".c" or path.exists():
+        payload["c_source"] = path.read_text()
+        payload["name"] = path.stem
+        if args.spec:
+            payload["spec"] = json.loads(Path(args.spec).read_text())
+    else:
+        payload["benchmark"] = args.target
+    if args.reference:
+        payload["reference"] = args.reference
+    if args.candidate:
+        payload["candidates"] = list(args.candidate)
+    return payload
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from .core.result import SynthesisReport
+
+    base = args.url.rstrip("/")
+    try:
+        payload = _submit_payload(args)
+    except OSError as error:
+        print(f"cannot read submission inputs: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"invalid JSON in --spec file: {error}", file=sys.stderr)
+        return 1
+    try:
+        status, body = _http_json(f"{base}/submit", payload)
+    except (urllib.error.URLError, OSError) as error:
+        print(
+            f"cannot reach the lifting service at {base}: {error} "
+            f"(is `repro serve` running?)",
+            file=sys.stderr,
+        )
+        return 1
+    if status >= 400:
+        print(f"submit rejected: {body.get('error', body)}", file=sys.stderr)
+        return 1
+    job_id = body["job_id"]
+    print(f"submitted {args.target} as {job_id} (state: {body['state']})")
+    if args.no_wait:
+        return 0
+    try:
+        status, body = _http_json(f"{base}/result/{job_id}?wait={args.wait:g}")
+    except (urllib.error.URLError, OSError) as error:
+        print(
+            f"lost contact with the lifting service at {base} while waiting "
+            f"for {job_id}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    if status >= 400:
+        print(
+            f"no result after {args.wait:g}s: {body.get('error', body)}",
+            file=sys.stderr,
+        )
+        return 1
+    report_data = body.get("report")
+    if report_data:
+        # A job can succeed yet carry a warning (e.g. the server's store
+        # write failed) — surface it, but the lift result stands.
+        if body.get("error"):
+            print(f"warning: {body['error']}", file=sys.stderr)
+        report = SynthesisReport.from_json_dict(report_data)
+        print(
+            report.summary() + (" [served from cache]" if body.get("cached") else "")
+        )
+        return 0 if report.success else 2
+    if body.get("error"):
+        print(f"job failed: {body['error']}", file=sys.stderr)
+        return 2
+    print(f"job {job_id} finished without a report", file=sys.stderr)
+    return 2
+
+
+# ---------------------------------------------------------------------- #
 # Entry point
 # ---------------------------------------------------------------------- #
 _COMMANDS = {
@@ -414,6 +673,8 @@ _COMMANDS = {
     "oracle": _cmd_oracle,
     "lift": _cmd_lift,
     "evaluate": _cmd_evaluate,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

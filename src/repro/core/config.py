@@ -18,9 +18,10 @@ plus the penalty-dropping variants of Table 2 (``Drop(A)``, ``Drop(a1)``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Tuple
 
+from .jsonutil import jsonable
 from .penalties import BOTTOMUP_CRITERIA, PenaltyConfig, TOPDOWN_CRITERIA
 from .search import SearchLimits
 from .verifier import VerifierConfig
@@ -136,3 +137,17 @@ class StaggConfig:
 
     def with_limits(self, limits: SearchLimits) -> "StaggConfig":
         return replace(self, limits=limits)
+
+    # ------------------------------------------------------------------ #
+    # Identity for the lifting service's content-addressed store
+    # ------------------------------------------------------------------ #
+    def digest_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary of every knob that affects the outcome.
+
+        Two configurations with equal ``digest_dict()`` produce the same
+        synthesis result for the same task and oracle, so the lifting
+        service keys its result store on (a hash of) this dictionary.  The
+        ``label`` is deliberately included: evaluation records carry the
+        method label, and a store entry must replay records verbatim.
+        """
+        return {str(k): jsonable(v) for k, v in asdict(self).items()}

@@ -1,0 +1,39 @@
+"""The one JSON-canonicalisation helper shared across the repository.
+
+Result serialization (:mod:`repro.core.result`), configuration digests
+(:meth:`repro.core.config.StaggConfig.digest_dict`) and the service's
+request digests (:mod:`repro.service.digest`) all need the same thing: a
+deterministic, JSON-safe rendering of arbitrary config-ish values.  They
+share this single implementation because store digests hash its output —
+two divergent copies would silently change digests and invalidate every
+cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+
+def jsonable(value: object) -> object:
+    """Deterministic, JSON-safe rendering of an arbitrary value.
+
+    Dataclasses become field dictionaries, mappings are key-sorted,
+    sets/frozensets become sorted string lists, tuples become lists;
+    anything else non-primitive falls back to ``repr`` (stable for the
+    value objects used in configs and reports).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) for v in value)
+    return repr(value)

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..taco import TacoProgram
+from ..taco.parser import parse_program
+from .jsonutil import jsonable
 
 
 @dataclass
@@ -52,4 +54,58 @@ class SynthesisReport:
         return (
             f"[{self.method}] {self.task_name}: {status} "
             f"({self.elapsed_seconds:.2f}s, {self.attempts} attempts){lifted}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (used by the result store and the HTTP service)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary that :meth:`from_json_dict` can restore.
+
+        Programs are stored as canonical TACO source text (the printer is
+        canonical, so ``str(parse_program(s)) == s`` for printer output),
+        which keeps the stored record human-readable and diffable.  The
+        numeric fields round-trip exactly: ``json`` preserves Python floats
+        bit-for-bit, so a report served from the store reproduces the
+        original run's timings byte-identically in CSV/JSON exports.
+        """
+        return {
+            "task_name": self.task_name,
+            "method": self.method,
+            "success": self.success,
+            "lifted_program": str(self.lifted_program)
+            if self.lifted_program is not None
+            else None,
+            "template": str(self.template) if self.template is not None else None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "attempts": self.attempts,
+            "nodes_expanded": self.nodes_expanded,
+            "oracle_valid_candidates": self.oracle_valid_candidates,
+            "oracle_rejected_candidates": self.oracle_rejected_candidates,
+            "dimension_list": list(self.dimension_list),
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "details": jsonable(self.details),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "SynthesisReport":
+        """Restore a report produced by :meth:`to_json_dict`."""
+        lifted = data.get("lifted_program")
+        template = data.get("template")
+        return cls(
+            task_name=str(data["task_name"]),
+            method=str(data["method"]),
+            success=bool(data["success"]),
+            lifted_program=parse_program(lifted) if lifted else None,
+            template=parse_program(template) if template else None,
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            attempts=int(data.get("attempts", 0)),
+            nodes_expanded=int(data.get("nodes_expanded", 0)),
+            oracle_valid_candidates=int(data.get("oracle_valid_candidates", 0)),
+            oracle_rejected_candidates=int(data.get("oracle_rejected_candidates", 0)),
+            dimension_list=tuple(data.get("dimension_list", ())),
+            timed_out=bool(data.get("timed_out", False)),
+            error=str(data.get("error", "")),
+            details=dict(data.get("details", {})),
         )

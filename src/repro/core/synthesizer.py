@@ -19,6 +19,7 @@ how the evaluation's ablations are expressed.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional, Sequence, Tuple
 
@@ -47,6 +48,25 @@ from .validator import TemplateValidator, ValidationResult
 from .verifier import BoundedEquivalenceChecker, VerificationResult
 
 
+# Process-wide count of full synthesis runs (every StaggSynthesizer.lift call).
+# The lifting service's cache tests assert on this: a request answered from the
+# content-addressed store must leave the counter untouched.
+_INVOCATION_LOCK = threading.Lock()
+_INVOCATIONS = 0
+
+
+def synthesis_invocations() -> int:
+    """Number of full synthesis pipeline runs in this process."""
+    with _INVOCATION_LOCK:
+        return _INVOCATIONS
+
+
+def _count_invocation() -> None:
+    global _INVOCATIONS
+    with _INVOCATION_LOCK:
+        _INVOCATIONS += 1
+
+
 class StaggSynthesizer:
     """Lifts C kernels to TACO using LLM-guided grammar synthesis."""
 
@@ -63,6 +83,7 @@ class StaggSynthesizer:
     # ------------------------------------------------------------------ #
     def lift(self, task: LiftingTask) -> SynthesisReport:
         """Lift *task* and report the outcome (never raises for task errors)."""
+        _count_invocation()
         started = time.monotonic()
         report = SynthesisReport(
             task_name=task.name, method=self._config.label, success=False

@@ -28,6 +28,7 @@ from .runner import (
     grammar_ablation_methods,
     penalty_ablation_methods,
     standard_methods,
+    validate_workers,
 )
 from .tables import TABLE1_METHODS, format_table, table1, table2, table3
 
@@ -63,4 +64,5 @@ __all__ = [
     "save_csv",
     "save_json",
     "text_report",
+    "validate_workers",
 ]

@@ -1,0 +1,71 @@
+"""Lifting-as-a-service layer: store, scheduler, batch API and HTTP server.
+
+This package turns the one-shot synthesizer into a long-lived service:
+
+* :mod:`repro.service.digest` — content addresses for lift requests.
+* :mod:`repro.service.store` — persistent, crash-safe result store keyed
+  by request digest, with provenance metadata and hit/miss counters.
+* :mod:`repro.service.scheduler` — priority job queue with in-flight
+  deduplication, per-job timeouts and a thread/process worker pool.
+* :mod:`repro.service.api` — :class:`LiftingService`, the submit /
+  status / result / batch surface shared by the CLI and the HTTP layer.
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` front end.
+
+It is also the seam the evaluation harness uses for warm-cache corpus
+sweeps: :class:`CachedLifter` wraps any lifting method with the store.
+"""
+
+from .api import (
+    LiftRequest,
+    LiftingService,
+    ServiceError,
+    build_lifter,
+    execute_request,
+    request_digest,
+    resolve_task,
+)
+from .digest import (
+    STORE_SCHEMA_VERSION,
+    canonical_json,
+    describe_lifter,
+    describe_oracle,
+    describe_task,
+    jsonable,
+    lift_digest,
+)
+from .scheduler import Job, JobScheduler, JobState
+from .server import (
+    DEFAULT_PORT,
+    LiftingServer,
+    make_server,
+    serve_in_background,
+)
+from .store import CachedLifter, ResultStore, StoreEntry, warm_digests
+
+__all__ = [
+    "LiftRequest",
+    "LiftingService",
+    "ServiceError",
+    "build_lifter",
+    "execute_request",
+    "request_digest",
+    "resolve_task",
+    "STORE_SCHEMA_VERSION",
+    "canonical_json",
+    "describe_lifter",
+    "describe_oracle",
+    "describe_task",
+    "jsonable",
+    "lift_digest",
+    "Job",
+    "JobScheduler",
+    "JobState",
+    "DEFAULT_PORT",
+    "LiftingServer",
+    "make_server",
+    "serve_in_background",
+    "CachedLifter",
+    "ResultStore",
+    "StoreEntry",
+    "warm_digests",
+]

@@ -1,0 +1,282 @@
+"""The lifting service: batch API over the store and the scheduler.
+
+:class:`LiftingService` is the process-level object behind both the HTTP
+front end (:mod:`repro.service.server`) and the ``repro serve`` / ``repro
+submit`` CLI commands.  It resolves incoming :class:`LiftRequest` payloads
+to :class:`LiftingTask`s, computes their content digests, and routes them
+through the scheduler — which in turn answers from the content-addressed
+store whenever the digest has been seen before.
+
+Requests come in two shapes:
+
+* **Corpus requests** name a benchmark (``{"benchmark": "mathfu.dot"}``);
+  the task, input spec and reference solution come from the suite.
+* **Raw-kernel requests** carry C source (``{"c_source": "..."}``) plus
+  either explicit candidate expressions (served by a static oracle) or a
+  reference solution for the synthetic oracle — exactly the contract of
+  ``repro lift`` for ``.c`` files.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
+from ..core.result import SynthesisReport
+from ..core.task import InputSpec, LiftingTask
+from ..llm import OracleConfig, StaticOracle, SyntheticOracle
+from ..suite import get_benchmark
+from .digest import describe_lifter, lift_digest
+from .scheduler import Job, JobScheduler
+from .store import ResultStore
+
+
+class ServiceError(ValueError):
+    """A request that cannot be resolved into a lift (HTTP 400)."""
+
+
+#: Per-job wall-clock budget applied when a request does not carry one.
+DEFAULT_TIMEOUT_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class LiftRequest:
+    """One lift as submitted to the service (JSON-friendly, hashable)."""
+
+    #: Corpus benchmark name; mutually exclusive with ``c_source``.
+    benchmark: Optional[str] = None
+    #: Raw C kernel source for ad-hoc lifts.
+    c_source: Optional[str] = None
+    #: Task name for raw-kernel requests (defaults to ``"kernel"``).
+    name: Optional[str] = None
+    #: Function to lift inside ``c_source`` (None = single function).
+    function_name: Optional[str] = None
+    #: Ground-truth TACO expression (required for raw kernels unless
+    #: ``candidates`` are given — the synthetic oracle needs it).
+    reference: Optional[str] = None
+    #: Explicit candidate expressions; non-empty selects a static oracle.
+    candidates: Tuple[str, ...] = ()
+    #: Input specification for raw kernels, as the ``repro lift --spec``
+    #: JSON shape: {"sizes": {...}, "arrays": {...}, "scalars": {...}}.
+    spec: Optional[Mapping[str, object]] = None
+    search: str = "topdown"
+    grammar: str = "refined"
+    probabilities: str = "learned"
+    #: Wall-clock budget (s).  ``None`` means "use the service default"
+    #: (:data:`DEFAULT_TIMEOUT_SECONDS` unless ``repro serve --timeout``
+    #: overrides it); the service resolves it before digesting, so the
+    #: effective budget is part of the request's content address.
+    timeout: Optional[float] = None
+    seed: int = 7
+    oracle_seed: int = 2025
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.c_source is None):
+            raise ServiceError(
+                "a lift request needs exactly one of 'benchmark' or 'c_source'"
+            )
+
+    # ------------------------------------------------------------------ #
+    # JSON payloads
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["candidates"] = list(self.candidates)
+        payload["spec"] = dict(self.spec) if self.spec is not None else None
+        return {k: v for k, v in payload.items() if v is not None}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "LiftRequest":
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ServiceError(f"unknown request fields: {', '.join(unknown)}")
+        data = dict(payload)
+        if "candidates" in data:
+            data["candidates"] = tuple(str(c) for c in data["candidates"])
+        if "spec" in data and data["spec"] is not None:
+            data["spec"] = dict(data["spec"])
+        try:
+            return cls(**data)
+        except TypeError as error:
+            raise ServiceError(f"malformed lift request: {error}") from None
+
+
+def _spec_from_mapping(data: Mapping[str, object]) -> InputSpec:
+    return InputSpec(
+        sizes=dict(data.get("sizes", {})),
+        arrays={name: tuple(shape) for name, shape in dict(data.get("arrays", {})).items()},
+        scalars={
+            name: tuple(bounds) for name, bounds in dict(data.get("scalars", {})).items()
+        },
+        avoid_zero=bool(data.get("avoid_zero", False)),
+    )
+
+
+def resolve_task(request: LiftRequest) -> LiftingTask:
+    """Resolve a request to the concrete lifting task it describes.
+
+    Raises :class:`ServiceError` for anything that can be rejected up
+    front (unknown benchmark, a raw kernel the chosen oracle cannot
+    serve), so invalid submissions fail at submit time with HTTP 400
+    rather than asynchronously in a worker.
+    """
+    if request.benchmark is not None:
+        try:
+            benchmark = get_benchmark(request.benchmark)
+        except KeyError as error:
+            raise ServiceError(str(error.args[0])) from None
+        task = benchmark.task()
+        if request.reference:
+            task = task.with_reference(request.reference)
+        return task
+    if not request.reference and not request.candidates:
+        raise ServiceError(
+            "lifting a raw kernel with the synthetic oracle requires "
+            "'reference' (or provide explicit 'candidates')"
+        )
+    if request.spec is None:
+        # Local import: cli imports service for `repro serve`, so the
+        # inference helper is pulled lazily to keep import order acyclic.
+        from ..cli import infer_input_spec
+
+        spec = infer_input_spec(request.c_source, request.function_name)
+    else:
+        spec = _spec_from_mapping(request.spec)
+    return LiftingTask(
+        name=request.name or "kernel",
+        c_source=request.c_source,
+        spec=spec,
+        function_name=request.function_name,
+        reference_solution=request.reference,
+        category="service",
+    )
+
+
+def build_lifter(request: LiftRequest) -> StaggSynthesizer:
+    """The synthesizer a request implies (oracle + config)."""
+    if request.candidates:
+        oracle = StaticOracle(list(request.candidates))
+    else:
+        oracle = SyntheticOracle(OracleConfig(seed=request.oracle_seed))
+    timeout = (
+        request.timeout if request.timeout is not None else DEFAULT_TIMEOUT_SECONDS
+    )
+    config = StaggConfig(
+        search=request.search,
+        grammar_mode=request.grammar,
+        probability_mode=request.probabilities,
+        limits=SearchLimits(timeout_seconds=timeout),
+        verifier=VerifierConfig(),
+        seed=request.seed,
+        label=f"STAGG_{'TD' if request.search == 'topdown' else 'BU'}",
+    )
+    return StaggSynthesizer(oracle, config)
+
+
+def execute_request(request: LiftRequest) -> SynthesisReport:
+    """Run one request to completion (module-level: process-pool friendly)."""
+    task = resolve_task(request)  # re-raises ServiceError for bad requests
+    return build_lifter(request).lift(task)
+
+
+def request_digest(request: LiftRequest) -> str:
+    """The store digest of a request: task identity x lifter identity."""
+    task = resolve_task(request)
+    return lift_digest(task, describe_lifter(build_lifter(request)))
+
+
+class LiftingService:
+    """Submit/status/result/batch over a store-backed scheduler."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        workers: int = 2,
+        use_processes: bool = False,
+        default_timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        self._store = ResultStore(cache_dir) if cache_dir is not None else None
+        self._default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._submitted = 0
+        # Provenance records the request payload only; the lifter identity
+        # is already pinned by the digest the entry is stored under.
+        self._scheduler = JobScheduler(
+            execute_request,
+            store=self._store,
+            workers=workers,
+            use_processes=use_processes,
+            provenance=lambda request: {"request": request.to_payload()},
+        )
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self._store
+
+    @property
+    def scheduler(self) -> JobScheduler:
+        return self._scheduler
+
+    # ------------------------------------------------------------------ #
+    # API surface (mirrored 1:1 by the HTTP endpoints)
+    # ------------------------------------------------------------------ #
+    def submit(self, request: LiftRequest) -> Job:
+        """Validate, digest and schedule one request.
+
+        A request without a timeout gets the service default *before*
+        digesting, so the effective budget is part of its content address
+        and the scheduler and synthesizer agree on it.
+        """
+        if request.timeout is None:
+            request = replace(request, timeout=self._default_timeout)
+        digest = request_digest(request)  # raises ServiceError on bad requests
+        with self._lock:
+            self._submitted += 1
+        return self._scheduler.submit(
+            request, digest, priority=request.priority, timeout=request.timeout
+        )
+
+    def submit_batch(self, requests: Sequence[LiftRequest]) -> List[Job]:
+        return [self.submit(request) for request in requests]
+
+    def status(self, job_id: str) -> Optional[Dict[str, object]]:
+        job = self._scheduler.job(job_id)
+        return job.status_dict() if job is not None else None
+
+    def result(
+        self, job_id: str, wait: Optional[float] = None
+    ) -> Optional[Dict[str, object]]:
+        """The finished job's report (or None if unknown / still running)."""
+        job = self._scheduler.job(job_id)
+        if job is None:
+            return None
+        if wait:
+            job.wait(wait)
+        if not job.state.terminal:
+            return None
+        result = job.status_dict()
+        result["report"] = (
+            job.report.to_json_dict() if job.report is not None else None
+        )
+        return result
+
+    def stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = {"submitted": self._submitted}
+        stats["scheduler"] = self._scheduler.stats()
+        if self._store is not None:
+            stats["store"] = self._store.stats()
+        return stats
+
+    def close(self) -> None:
+        self._scheduler.shutdown()
+
+    def __enter__(self) -> "LiftingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

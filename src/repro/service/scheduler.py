@@ -1,0 +1,359 @@
+"""Async job scheduler for the lifting service.
+
+The scheduler owns a priority queue of lift jobs and a pool of workers
+that drain it.  Three service-level behaviours live here rather than in
+the synthesizer:
+
+* **Deduplication** — a submission whose request digest matches a job that
+  is already queued or running attaches to that job instead of enqueueing
+  a second copy; a submission whose digest is already in the result store
+  completes immediately without touching the queue at all.
+* **Prioritisation** — jobs carry an integer priority (lower runs first);
+  ties are broken by submission order, so equal-priority traffic is FIFO.
+* **Timeouts** — each job carries a wall-clock budget.  In thread mode the
+  budget is enforced cooperatively by the synthesis pipeline's
+  :class:`SearchLimits` (every shipped lifter respects it); in process
+  mode the scheduler additionally bounds the wait on the worker future and
+  marks the job timed out if the process overruns its budget plus a grace
+  period.
+
+Workers come in two flavours, selected by ``use_processes``: thread
+workers call the executor in-process (cheap, shares the synthesizer's
+in-memory caches), or thread workers that dispatch into a shared
+:class:`concurrent.futures.ProcessPoolExecutor` — the same machinery the
+PR-1 evaluation runner fans corpus sweeps out over — for CPU isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.result import SynthesisReport
+from .store import ResultStore
+
+#: Extra wall-clock slack granted on top of a job's budget in process mode
+#: before the scheduler declares the job timed out.
+TIMEOUT_GRACE_SECONDS = 10.0
+
+#: How many *terminal* jobs the scheduler remembers for status/result
+#: lookups.  Older finished jobs are evicted (their results live on in the
+#: store, keyed by digest), which bounds memory in a long-lived service.
+DEFAULT_JOB_RETENTION = 1024
+
+
+class _JobOverrun(Exception):
+    """A job exceeded its wall-clock budget (scheduler-level timeout)."""
+
+    def __init__(self, budget: Optional[float]) -> None:
+        rendered = f"{budget:.1f}s" if budget is not None else "unlimited"
+        super().__init__(f"job overran its {rendered} budget")
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One scheduled lift."""
+
+    id: str
+    digest: str
+    payload: object
+    priority: int = 0
+    timeout: Optional[float] = None
+    state: JobState = JobState.QUEUED
+    report: Optional[SynthesisReport] = None
+    error: str = ""
+    #: True when the job was answered from the result store without running.
+    cached: bool = False
+    #: How many submissions were coalesced onto this job (1 = no dedup).
+    submissions: int = 1
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (True on arrival)."""
+        return self._done.wait(timeout)
+
+    def status_dict(self) -> Dict[str, object]:
+        """JSON-safe status snapshot (what ``GET /status`` serves)."""
+        status: Dict[str, object] = {
+            "id": self.id,
+            "digest": self.digest,
+            "state": self.state.value,
+            "priority": self.priority,
+            "cached": self.cached,
+            "submissions": self.submissions,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error:
+            status["error"] = self.error
+        if self.state is JobState.SUCCEEDED and self.report is not None:
+            status["success"] = self.report.success
+        return status
+
+
+class JobScheduler:
+    """Priority queue + worker pool with dedup, store hits and timeouts."""
+
+    def __init__(
+        self,
+        executor: Callable[[object], SynthesisReport],
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        use_processes: bool = False,
+        provenance: Optional[Callable[[object], Dict[str, object]]] = None,
+        job_retention: int = DEFAULT_JOB_RETENTION,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"scheduler needs at least one worker, got {workers}")
+        self._executor = executor
+        self._store = store
+        self._provenance = provenance
+        self._queue: List[Tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._active: Dict[str, Job] = {}  # digest -> queued/running job
+        self._jobs: Dict[str, Job] = {}  # id -> job (all states)
+        self._retention = max(1, int(job_retention))
+        self._finished_order: deque = deque()  # terminal job ids, oldest first
+        self._shutdown = False
+        self._deduplicated = 0
+        self._store_answers = 0
+        self._finished_counts = {
+            JobState.SUCCEEDED: 0,
+            JobState.FAILED: 0,
+            JobState.CANCELLED: 0,
+        }
+        self._pool_workers = workers
+        self._pool = ProcessPoolExecutor(max_workers=workers) if use_processes else None
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"lift-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        payload: object,
+        digest: str,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Schedule a lift; may return an existing (deduplicated) job.
+
+        The returned job is immediately terminal when the digest was
+        already answered in the result store.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            existing = self._active.get(digest)
+            if existing is not None:
+                existing.submissions += 1
+                self._deduplicated += 1
+                return existing
+        if self._store is not None:
+            entry = self._store.get(digest)
+            if entry is not None:
+                job = self._make_job(digest, payload, priority, timeout)
+                job.report = entry.report
+                job.cached = True
+                with self._lock:
+                    self._store_answers += 1
+                    self._jobs[job.id] = job
+                self._finish(job, JobState.SUCCEEDED)
+                return job
+        job = self._make_job(digest, payload, priority, timeout)
+        with self._lock:
+            # Re-check under the lock: another thread may have enqueued the
+            # same digest while we probed the store.
+            existing = self._active.get(digest)
+            if existing is not None:
+                existing.submissions += 1
+                self._deduplicated += 1
+                return existing
+            self._jobs[job.id] = job
+            self._active[digest] = job
+            heapq.heappush(self._queue, (priority, next(self._sequence), job))
+            self._work_ready.notify()
+        return job
+
+    def _make_job(
+        self, digest: str, payload: object, priority: int, timeout: Optional[float]
+    ) -> Job:
+        with self._lock:
+            number = next(self._sequence)
+        return Job(
+            id=f"job-{number:06d}-{digest[:8]}",
+            digest=digest,
+            payload=payload,
+            priority=priority,
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection / control
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job (running jobs are not preempted)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                return False
+            # Flip the state under the lock so a worker popping the heap
+            # concurrently sees CANCELLED and skips the job.
+            job.state = JobState.CANCELLED
+            self._active.pop(job.digest, None)
+        self._finish(job, JobState.CANCELLED)
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters (terminal counts survive job eviction)."""
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+            return {
+                "queued": sum(1 for s in states if s is JobState.QUEUED),
+                "running": sum(1 for s in states if s is JobState.RUNNING),
+                "succeeded": self._finished_counts[JobState.SUCCEEDED],
+                "failed": self._finished_counts[JobState.FAILED],
+                "cancelled": self._finished_counts[JobState.CANCELLED],
+                "deduplicated": self._deduplicated,
+                "store_answers": self._store_answers,
+            }
+
+    def shutdown(self, wait: bool = True, timeout: Optional[float] = 10.0) -> None:
+        with self._lock:
+            self._shutdown = True
+            self._work_ready.notify_all()
+        if wait:
+            for thread in self._workers:
+                thread.join(timeout)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while not self._queue and not self._shutdown:
+                    self._work_ready.wait(0.2)
+                if self._shutdown and not self._queue:
+                    return
+                if not self._queue:
+                    continue
+                _, _, job = heapq.heappop(self._queue)
+                if job.state is JobState.CANCELLED:
+                    continue
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+            self._run_job(job)
+
+    def _replace_pool(self) -> None:
+        """Swap in a fresh process pool after a runaway job.
+
+        A future abandoned on timeout leaves its process occupying a pool
+        slot until the (cooperatively-budgeted) synthesis inside finishes.
+        Replacing the pool restores full capacity immediately; the old pool
+        is shut down without waiting and drains in the background.
+        """
+        with self._lock:
+            old, self._pool = self._pool, ProcessPoolExecutor(
+                max_workers=self._pool_workers
+            )
+        if old is not None:
+            old.shutdown(wait=False)
+
+    def _run_in_pool(self, job: Job) -> SynthesisReport:
+        """Run *job* on the process pool, bounding the wait by its budget."""
+        future = self._pool.submit(self._executor, job.payload)
+        budget = (
+            job.timeout + TIMEOUT_GRACE_SECONDS if job.timeout is not None else None
+        )
+        try:
+            return future.result(timeout=budget)
+        except FutureTimeoutError:
+            # On 3.11+ concurrent.futures.TimeoutError IS builtin
+            # TimeoutError, so distinguish a wait expiry (future still
+            # pending/running) from a TimeoutError raised *inside* the job.
+            if future.done():
+                raise
+            if not future.cancel():
+                # The job is actually running (not just queued behind a
+                # wedged slot) — recycle the pool so its slot comes back.
+                self._replace_pool()
+            raise _JobOverrun(job.timeout) from None
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            if self._pool is not None:
+                report = self._run_in_pool(job)
+            else:
+                report = self._executor(job.payload)
+        except _JobOverrun as overrun:
+            job.error = str(overrun)
+            self._finish(job, JobState.FAILED)
+            return
+        except BaseException as error:  # noqa: BLE001 - never kill a worker
+            job.error = f"{type(error).__name__}: {error}"
+            self._finish(job, JobState.FAILED)
+            return
+        job.report = report
+        if self._store is not None:
+            try:
+                provenance = (
+                    self._provenance(job.payload) if self._provenance else {}
+                )
+                self._store.put(job.digest, report, provenance=provenance)
+            except OSError as error:
+                job.error = f"result store write failed: {error}"
+        self._finish(job, JobState.SUCCEEDED)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        with self._lock:
+            job.state = state
+            job.finished_at = time.time()
+            self._active.pop(job.digest, None)
+            self._finished_counts[state] += 1
+            # Bound memory: remember only the newest terminal jobs for
+            # status/result lookups; completed results stay in the store.
+            self._finished_order.append(job.id)
+            while len(self._finished_order) > self._retention:
+                evicted = self._finished_order.popleft()
+                self._jobs.pop(evicted, None)
+        job._done.set()

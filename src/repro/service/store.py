@@ -1,0 +1,279 @@
+"""Content-addressed result store for the lifting service.
+
+Completed lifts are persisted as JSON, keyed by the request digest of
+:mod:`repro.service.digest`.  Layout under the cache root::
+
+    <root>/v1/objects/<digest[:2]>/<digest>.json
+
+Each entry carries the full :class:`SynthesisReport` plus provenance
+metadata — the git SHA the result was produced at, the lifter descriptor
+that went into the digest, wall-clock timing and attempt counts — so a
+cached answer can always be audited back to the run that produced it.
+Writes are atomic (temp file + ``os.replace``) so concurrent workers and a
+crashed process can never leave a half-written entry behind; readers treat
+unparseable entries as misses.
+
+The store intentionally caches *failures* as well as successes: the
+evaluation harness replays whole corpus sweeps from the store, and a warm
+sweep must reproduce every record — including timeouts and errors — byte
+for byte.  Callers that only want successes (e.g. ``repro lift``) can ask
+for them via ``successes_only``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from ..core.result import SynthesisReport
+from ..core.task import LiftingTask
+from .digest import STORE_SCHEMA_VERSION, describe_lifter, jsonable, lift_digest
+
+
+def _git_sha(root: Optional[Path] = None) -> str:
+    """Best-effort git SHA of the repository containing *root* (or the CWD)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+@dataclass
+class StoreEntry:
+    """One stored lift: the report plus its provenance."""
+
+    digest: str
+    report: SynthesisReport
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": STORE_SCHEMA_VERSION,
+            "digest": self.digest,
+            "report": self.report.to_json_dict(),
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, object]) -> "StoreEntry":
+        return cls(
+            digest=str(data["digest"]),
+            report=SynthesisReport.from_json_dict(dict(data["report"])),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+
+class ResultStore:
+    """A content-addressed, crash-safe JSON store of completed lifts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        self._objects = self._root / f"v{STORE_SCHEMA_VERSION}" / "objects"
+        self._lock = Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def writes(self) -> int:
+        return self._writes
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "writes": self._writes,
+                "entries": sum(1 for _ in self.digests()),
+            }
+
+    def digests(self) -> Iterator[str]:
+        """All digests currently stored (scans the object directory)."""
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path_for(digest).is_file()
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+    def _path_for(self, digest: str) -> Path:
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[StoreEntry]:
+        """The stored entry for *digest*, or None (counted as hit/miss)."""
+        path = self._path_for(digest)
+        entry: Optional[StoreEntry] = None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("schema") == STORE_SCHEMA_VERSION:
+                entry = StoreEntry.from_json_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            entry = None
+        with self._lock:
+            if entry is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return entry
+
+    def put(
+        self,
+        digest: str,
+        report: SynthesisReport,
+        provenance: Optional[Mapping[str, object]] = None,
+    ) -> Path:
+        """Persist *report* under *digest* atomically; returns the path."""
+        path = self._path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        merged: Dict[str, object] = {
+            "git_sha": _git_sha(),
+            "created_at": time.time(),
+            "elapsed_seconds": report.elapsed_seconds,
+            "attempts": report.attempts,
+        }
+        if provenance:
+            merged.update(jsonable(dict(provenance)))
+        entry = StoreEntry(digest=digest, report=report, provenance=merged)
+        payload = json.dumps(entry.to_json_dict(), indent=2, sort_keys=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{digest[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._writes += 1
+        return path
+
+
+class CachedLifter:
+    """Wrap any ``lift(task) -> SynthesisReport`` method with the store.
+
+    On a hit the stored report is returned verbatim — original timings,
+    attempts and error text included — so downstream records are
+    byte-identical to the run that populated the store.  On a miss the
+    wrapped lifter runs and its report is persisted (successes *and*
+    failures; see the module docstring).
+
+    The wrapper is picklable (it carries only the wrapped lifter, a path
+    and the policy flags; the store handle and digests are rebuilt lazily
+    per process), so it can ride through the evaluation runner's process
+    pool unchanged.
+    """
+
+    def __init__(
+        self,
+        lifter: object,
+        cache_dir: Union[str, Path],
+        successes_only: bool = False,
+    ) -> None:
+        self._lifter = lifter
+        self._cache_dir = Path(cache_dir)
+        self._successes_only = successes_only
+        self._store: Optional[ResultStore] = None
+        self._descriptor: Optional[Dict[str, object]] = None
+
+    # Pickle support: drop the per-process lazies.
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "lifter": self._lifter,
+            "cache_dir": self._cache_dir,
+            "successes_only": self._successes_only,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["lifter"], state["cache_dir"], state["successes_only"]
+        )
+
+    @property
+    def store(self) -> ResultStore:
+        if self._store is None:
+            self._store = ResultStore(self._cache_dir)
+        return self._store
+
+    @property
+    def wrapped(self) -> object:
+        return self._lifter
+
+    @property
+    def config(self) -> object:
+        """Expose the wrapped lifter's config (keeps digests transparent)."""
+        return getattr(self._lifter, "config", None)
+
+    def descriptor(self) -> Dict[str, object]:
+        if self._descriptor is None:
+            self._descriptor = describe_lifter(self._lifter)
+        return self._descriptor
+
+    def digest_for(self, task: LiftingTask) -> str:
+        return lift_digest(task, self.descriptor())
+
+    def lift(self, task: LiftingTask) -> SynthesisReport:
+        digest = self.digest_for(task)
+        entry = self.store.get(digest)
+        if entry is not None and (entry.report.success or not self._successes_only):
+            return entry.report
+        report = self._lifter.lift(task)
+        if report.success or not self._successes_only:
+            self.store.put(digest, report, provenance={"lifter": self.descriptor()})
+        return report
+
+
+def warm_digests(
+    tasks: List[LiftingTask], lifters: Mapping[str, object]
+) -> Dict[str, List[str]]:
+    """The digests a sweep over *tasks* x *lifters* would read (for audits)."""
+    digests: Dict[str, List[str]] = {}
+    for label, lifter in lifters.items():
+        descriptor = describe_lifter(lifter)
+        digests[label] = [lift_digest(task, descriptor) for task in tasks]
+    return digests

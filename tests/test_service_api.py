@@ -1,0 +1,178 @@
+"""Tests for the LiftingService API and warm-cache evaluation sweeps."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.synthesizer import synthesis_invocations
+from repro.evaluation import EvaluationRunner, save_json, standard_methods
+from repro.llm import OracleConfig, SyntheticOracle
+from repro.service import LiftRequest, LiftingService, ServiceError, resolve_task
+from repro.suite import all_benchmarks
+
+
+# ---------------------------------------------------------------------- #
+# LiftRequest
+# ---------------------------------------------------------------------- #
+class TestLiftRequest:
+    def test_needs_exactly_one_source(self):
+        with pytest.raises(ServiceError):
+            LiftRequest()
+        with pytest.raises(ServiceError):
+            LiftRequest(benchmark="mathfu.dot", c_source="void f() {}")
+
+    def test_payload_round_trip(self):
+        request = LiftRequest(
+            benchmark="mathfu.dot", timeout=30.0, priority=2, search="bottomup"
+        )
+        assert LiftRequest.from_payload(request.to_payload()) == request
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError, match="unknown request fields"):
+            LiftRequest.from_payload({"benchmark": "mathfu.dot", "bogus": 1})
+
+    def test_unknown_benchmark_rejected_at_resolution(self):
+        with pytest.raises(ServiceError, match="no benchmark named"):
+            resolve_task(LiftRequest(benchmark="nope.nope"))
+
+    def test_raw_kernel_task_resolution(self):
+        benchmark = all_benchmarks()[0]
+        request = LiftRequest(
+            c_source=benchmark.c_source,
+            name="adhoc",
+            reference=benchmark.ground_truth,
+            spec={
+                "sizes": dict(benchmark.spec.sizes),
+                "arrays": {k: list(v) for k, v in benchmark.spec.arrays.items()},
+            },
+        )
+        task = resolve_task(request)
+        assert task.name == "adhoc"
+        assert task.reference_solution == benchmark.ground_truth
+
+
+# ---------------------------------------------------------------------- #
+# LiftingService
+# ---------------------------------------------------------------------- #
+class TestLiftingService:
+    def test_submit_and_result(self, tmp_path):
+        with LiftingService(cache_dir=tmp_path, workers=2) as service:
+            request = LiftRequest(benchmark="darknet.copy_cpu", timeout=30.0)
+            job = service.submit(request)
+            assert job.wait(60)
+            result = service.result(job.id)
+            assert result["state"] == "succeeded"
+            assert result["report"]["success"] is True
+
+    def test_second_submission_served_from_store(self, tmp_path):
+        request = LiftRequest(benchmark="darknet.copy_cpu", timeout=30.0)
+        with LiftingService(cache_dir=tmp_path, workers=2) as service:
+            first = service.submit(request)
+            assert first.wait(60)
+            invocations = synthesis_invocations()
+            second = service.submit(request)
+            assert second.wait(10)
+            # Answered from the content-addressed store: no synthesis ran.
+            assert synthesis_invocations() == invocations
+            assert second.cached
+            assert second.report.to_json_dict() == first.report.to_json_dict()
+            stats = service.stats()
+            assert stats["scheduler"]["store_answers"] == 1
+            assert stats["store"]["hits"] >= 1
+
+    def test_store_survives_service_restart(self, tmp_path):
+        request = LiftRequest(benchmark="darknet.copy_cpu", timeout=30.0)
+        with LiftingService(cache_dir=tmp_path, workers=1) as service:
+            job = service.submit(request)
+            assert job.wait(60)
+        invocations = synthesis_invocations()
+        with LiftingService(cache_dir=tmp_path, workers=1) as service:
+            job = service.submit(request)
+            assert job.wait(10)
+            assert job.cached
+            assert synthesis_invocations() == invocations
+
+    def test_batch_submission(self, tmp_path):
+        requests = [
+            LiftRequest(benchmark="darknet.copy_cpu", timeout=30.0),
+            LiftRequest(benchmark="mathfu.dot", timeout=30.0),
+        ]
+        with LiftingService(cache_dir=tmp_path, workers=2) as service:
+            jobs = service.submit_batch(requests)
+            assert len(jobs) == 2
+            for job in jobs:
+                assert job.wait(60)
+                assert job.report.success
+
+    def test_invalid_request_fails_fast(self, tmp_path):
+        with LiftingService(cache_dir=tmp_path, workers=1) as service:
+            with pytest.raises(ServiceError):
+                service.submit(LiftRequest(benchmark="nope.nope"))
+
+    def test_raw_kernel_without_reference_rejected_at_submit(self, tmp_path):
+        benchmark = all_benchmarks()[0]
+        request = LiftRequest(c_source=benchmark.c_source, timeout=10.0)
+        with LiftingService(cache_dir=tmp_path, workers=1) as service:
+            with pytest.raises(ServiceError, match="reference"):
+                service.submit(request)
+
+    def test_default_timeout_applied_and_digested(self, tmp_path):
+        # A request without a timeout inherits the service default, which
+        # becomes part of its content address (different defaults -> no
+        # cross-talk between entries produced under different budgets).
+        request = LiftRequest(benchmark="darknet.copy_cpu")
+        with LiftingService(
+            cache_dir=tmp_path, workers=1, default_timeout=30.0
+        ) as service:
+            job = service.submit(request)
+            assert job.timeout == 30.0
+            assert job.wait(60)
+            assert job.report.success
+
+    def test_status_for_unknown_job(self, tmp_path):
+        with LiftingService(cache_dir=tmp_path, workers=1) as service:
+            assert service.status("job-999999-deadbeef") is None
+            assert service.result("job-999999-deadbeef") is None
+
+
+# ---------------------------------------------------------------------- #
+# Warm-cache evaluation sweeps (the acceptance-criteria contract)
+# ---------------------------------------------------------------------- #
+class TestWarmCacheEvaluation:
+    def _methods(self):
+        return standard_methods(
+            oracle=SyntheticOracle(OracleConfig()),
+            timeout_seconds=10.0,
+            include=["STAGG_TD", "C2TACO"],
+        )
+
+    def test_warm_sweep_is_byte_identical_and_skips_synthesis(self, tmp_path):
+        benchmarks = all_benchmarks()[::25]
+        cache = tmp_path / "store"
+        cold = EvaluationRunner(self._methods(), benchmarks, cache_dir=cache).run()
+        save_json(cold, tmp_path / "cold.json")
+        invocations = synthesis_invocations()
+        warm = EvaluationRunner(self._methods(), benchmarks, cache_dir=cache).run()
+        save_json(warm, tmp_path / "warm.json")
+        # The warmed store answers every STAGG cell without synthesis runs.
+        assert synthesis_invocations() == invocations
+        # Byte-identical records: recorded timings and outcomes replay.
+        assert (tmp_path / "warm.json").read_bytes() == (
+            tmp_path / "cold.json"
+        ).read_bytes()
+
+    def test_cache_off_matches_cache_on_outcomes(self, tmp_path):
+        benchmarks = all_benchmarks()[::40]
+        plain = EvaluationRunner(self._methods(), benchmarks).run()
+        cached = EvaluationRunner(
+            self._methods(), benchmarks, cache_dir=tmp_path / "store"
+        ).run()
+        assert [
+            (r.method, r.benchmark, r.solved, r.report.lifted_source)
+            for r in plain.records
+        ] == [
+            (r.method, r.benchmark, r.solved, r.report.lifted_source)
+            for r in cached.records
+        ]

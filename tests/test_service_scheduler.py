@@ -1,0 +1,217 @@
+"""Tests for the service job scheduler: priorities, dedup, timeouts."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.result import SynthesisReport
+from repro.service import JobScheduler, JobState, ResultStore
+
+
+def _report(name: str = "t", success: bool = True) -> SynthesisReport:
+    return SynthesisReport(task_name=name, method="test", success=success)
+
+
+class _Gate:
+    """An executor whose first call blocks until released (single worker)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self.lock:
+            first = not self.calls
+            self.calls.append(payload)
+        if first:
+            self.started.set()
+            assert self.release.wait(10)
+        return _report(str(payload))
+
+
+class TestScheduling:
+    def test_runs_a_job_to_completion(self):
+        scheduler = JobScheduler(lambda payload: _report(str(payload)), workers=1)
+        try:
+            job = scheduler.submit("x", digest="d1")
+            assert job.wait(10)
+            assert job.state is JobState.SUCCEEDED
+            assert job.report.task_name == "x"
+            assert not job.cached
+        finally:
+            scheduler.shutdown()
+
+    def test_priority_orders_queued_jobs(self):
+        gate = _Gate()
+        scheduler = JobScheduler(gate, workers=1)
+        try:
+            blocker = scheduler.submit("blocker", digest="d0")
+            assert gate.started.wait(10)
+            # While the single worker is busy, queue in "wrong" order.
+            low = scheduler.submit("low", digest="d-low", priority=5)
+            high = scheduler.submit("high", digest="d-high", priority=1)
+            gate.release.set()
+            assert blocker.wait(10) and low.wait(10) and high.wait(10)
+            assert gate.calls == ["blocker", "high", "low"]
+        finally:
+            scheduler.shutdown()
+
+    def test_equal_priority_is_fifo(self):
+        gate = _Gate()
+        scheduler = JobScheduler(gate, workers=1)
+        try:
+            blocker = scheduler.submit("blocker", digest="d0")
+            assert gate.started.wait(10)
+            first = scheduler.submit("first", digest="d1")
+            second = scheduler.submit("second", digest="d2")
+            gate.release.set()
+            assert blocker.wait(10) and first.wait(10) and second.wait(10)
+            assert gate.calls == ["blocker", "first", "second"]
+        finally:
+            scheduler.shutdown()
+
+    def test_inflight_duplicates_coalesce(self):
+        gate = _Gate()
+        scheduler = JobScheduler(gate, workers=1)
+        try:
+            job1 = scheduler.submit("same", digest="dup")
+            assert gate.started.wait(10)
+            job2 = scheduler.submit("same", digest="dup")
+            assert job2 is job1
+            assert job1.submissions == 2
+            gate.release.set()
+            assert job1.wait(10)
+            assert gate.calls == ["same"]
+            assert scheduler.stats()["deduplicated"] == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_store_answers_skip_the_queue(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("seen" * 16, _report("cached-task"))
+        calls = []
+
+        def executor(payload):
+            calls.append(payload)
+            return _report(str(payload))
+
+        scheduler = JobScheduler(executor, store=store, workers=1)
+        try:
+            job = scheduler.submit("anything", digest="seen" * 16)
+            assert job.state is JobState.SUCCEEDED
+            assert job.cached
+            assert job.report.task_name == "cached-task"
+            assert calls == []
+            assert scheduler.stats()["store_answers"] == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_completed_jobs_persist_to_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scheduler = JobScheduler(
+            lambda payload: _report(str(payload)), store=store, workers=1
+        )
+        try:
+            job = scheduler.submit("x", digest="ab" * 32)
+            assert job.wait(10)
+            assert ("ab" * 32) in store
+        finally:
+            scheduler.shutdown()
+
+    def test_executor_exception_fails_the_job(self):
+        def executor(payload):
+            raise RuntimeError("kaboom")
+
+        scheduler = JobScheduler(executor, workers=1)
+        try:
+            job = scheduler.submit("x", digest="dx")
+            assert job.wait(10)
+            assert job.state is JobState.FAILED
+            assert "kaboom" in job.error
+        finally:
+            scheduler.shutdown()
+
+    def test_executor_timeout_error_fails_cleanly_in_thread_mode(self):
+        # concurrent.futures.TimeoutError is builtin TimeoutError on 3.11+;
+        # an executor raising it must fail the job, not kill the worker and
+        # wedge the digest in the in-flight set.
+        def executor(payload):
+            raise TimeoutError("oracle socket timed out")
+
+        scheduler = JobScheduler(executor, workers=1)
+        try:
+            job = scheduler.submit("x", digest="dt")
+            assert job.wait(10)
+            assert job.state is JobState.FAILED
+            assert "oracle socket timed out" in job.error
+            # The worker survived and the digest was released: a fresh
+            # submission with the same digest schedules a new job.
+            follow_up = scheduler.submit("x", digest="dt")
+            assert follow_up is not job
+            assert follow_up.wait(10)
+        finally:
+            scheduler.shutdown()
+
+    def test_jobs_are_evicted_beyond_retention(self):
+        scheduler = JobScheduler(
+            lambda payload: _report(str(payload)), workers=1, job_retention=3
+        )
+        try:
+            jobs = [scheduler.submit(i, digest=f"d{i}") for i in range(6)]
+            for job in jobs:
+                assert job.wait(10)
+            remembered = [j for j in jobs if scheduler.job(j.id) is not None]
+            assert len(remembered) == 3
+            assert remembered == jobs[-3:]  # newest terminal jobs survive
+            stats = scheduler.stats()
+            assert stats["succeeded"] == 6  # lifetime counters survive eviction
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_queued_job(self):
+        gate = _Gate()
+        scheduler = JobScheduler(gate, workers=1)
+        try:
+            blocker = scheduler.submit("blocker", digest="d0")
+            assert gate.started.wait(10)
+            queued = scheduler.submit("queued", digest="dq")
+            assert scheduler.cancel(queued.id)
+            assert queued.state is JobState.CANCELLED
+            gate.release.set()
+            assert blocker.wait(10)
+            time.sleep(0.1)
+            assert "queued" not in gate.calls
+            # Cancelled jobs cannot be cancelled twice, nor can finished ones.
+            assert not scheduler.cancel(queued.id)
+            assert not scheduler.cancel(blocker.id)
+        finally:
+            scheduler.shutdown()
+
+    def test_lookup_and_status_dict(self):
+        scheduler = JobScheduler(lambda payload: _report(), workers=1)
+        try:
+            job = scheduler.submit("x", digest="dd" * 32)
+            assert scheduler.job(job.id) is job
+            assert scheduler.job("nope") is None
+            assert job.wait(10)
+            status = job.status_dict()
+            assert status["id"] == job.id
+            assert status["state"] == "succeeded"
+            assert status["digest"] == "dd" * 32
+        finally:
+            scheduler.shutdown()
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError):
+            JobScheduler(lambda payload: _report(), workers=0)
+
+    def test_submit_after_shutdown_raises(self):
+        scheduler = JobScheduler(lambda payload: _report(), workers=1)
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.submit("x", digest="dz")

@@ -1,0 +1,156 @@
+"""End-to-end tests for the HTTP serving layer.
+
+These start a real ``ThreadingHTTPServer`` on an ephemeral port and drive
+it with ``urllib`` — the same path ``repro submit`` uses — so they cover
+request parsing, job scheduling, store round-trips and error statuses.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.result import SynthesisReport
+from repro.core.synthesizer import synthesis_invocations
+from repro.service import make_server, serve_in_background
+
+
+@pytest.fixture()
+def server(tmp_path):
+    server = make_server(port=0, cache_dir=tmp_path / "store", workers=2)
+    thread = serve_in_background(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+    thread.join(5)
+
+
+def _base(server) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def _get(server, path: str):
+    with urllib.request.urlopen(_base(server) + path) as response:
+        return response.status, json.load(response)
+
+
+def _post(server, path: str, payload):
+    request = urllib.request.Request(
+        _base(server) + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def _submit_and_wait(server, payload, wait: float = 60.0):
+    status, body = _post(server, "/submit", payload)
+    assert status == 202
+    status, result = _get(server, f"/result/{body['job_id']}?wait={wait:g}")
+    assert status == 200
+    return body, result
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200 and body == {"ok": True}
+
+    def test_submit_result_round_trip(self, server):
+        payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
+        submission, result = _submit_and_wait(server, payload)
+        assert result["state"] == "succeeded"
+        report = SynthesisReport.from_json_dict(result["report"])
+        assert report.success
+        assert report.lifted_source  # a verified lifted program came back
+        # The verified result landed in the content-addressed store.
+        store = server.service.store
+        assert len(store) == 1
+        entry = store.get(result["digest"])
+        assert entry.report.to_json_dict() == report.to_json_dict()
+
+    def test_second_submission_answered_from_store(self, server):
+        payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
+        _, first = _submit_and_wait(server, payload)
+        invocations = synthesis_invocations()
+        submission, second = _submit_and_wait(server, payload, wait=10.0)
+        assert submission["cached"] is True
+        assert synthesis_invocations() == invocations  # store hit, no synthesis
+        assert second["report"] == first["report"]
+        status, stats = _get(server, "/stats")
+        assert stats["scheduler"]["store_answers"] >= 1
+        assert stats["store"]["hits"] >= 1
+
+    def test_status_endpoint(self, server):
+        payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
+        submission, _ = _submit_and_wait(server, payload)
+        status, body = _get(server, f"/status/{submission['job_id']}")
+        assert status == 200
+        assert body["state"] == "succeeded"
+        assert body["success"] is True
+
+    def test_batch_endpoint(self, server):
+        payloads = [
+            {"benchmark": "darknet.copy_cpu", "timeout": 30.0},
+            {"benchmark": "mathfu.dot", "timeout": 30.0},
+        ]
+        status, body = _post(server, "/batch", {"requests": payloads})
+        assert status == 202
+        assert len(body["jobs"]) == 2
+        for job in body["jobs"]:
+            status, result = _get(server, f"/result/{job['job_id']}?wait=60")
+            assert status == 200
+            assert result["report"]["success"] is True
+
+
+class TestErrorStatuses:
+    def _expect_http_error(self, fn, code):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fn()
+        assert excinfo.value.code == code
+        return json.loads(excinfo.value.read().decode("utf-8"))
+
+    def test_unknown_endpoint_404(self, server):
+        self._expect_http_error(lambda: _get(server, "/nope"), 404)
+
+    def test_unknown_job_404(self, server):
+        body = self._expect_http_error(
+            lambda: _get(server, "/status/job-404404-deadbeef"), 404
+        )
+        assert "unknown job" in body["error"]
+        self._expect_http_error(
+            lambda: _get(server, "/result/job-404404-deadbeef"), 404
+        )
+
+    def test_bad_request_payload_400(self, server):
+        body = self._expect_http_error(
+            lambda: _post(server, "/submit", {"bogus": 1}), 400
+        )
+        assert "error" in body
+
+    def test_unknown_benchmark_400(self, server):
+        body = self._expect_http_error(
+            lambda: _post(server, "/submit", {"benchmark": "nope.nope"}), 400
+        )
+        assert "no benchmark named" in body["error"]
+
+    def test_empty_batch_400(self, server):
+        self._expect_http_error(
+            lambda: _post(server, "/batch", {"requests": []}), 400
+        )
+
+    def test_non_json_body_400(self, server):
+        request = urllib.request.Request(
+            _base(server) + "/submit",
+            data=b"not json at all",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400

@@ -1,0 +1,244 @@
+"""Tests for the content-addressed result store and request digests."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import StaggConfig, StaggSynthesizer
+from repro.core.result import SynthesisReport
+from repro.core.synthesizer import synthesis_invocations
+from repro.llm import OracleConfig, StaticOracle, SyntheticOracle
+from repro.service import (
+    CachedLifter,
+    ResultStore,
+    describe_lifter,
+    describe_oracle,
+    lift_digest,
+)
+from repro.suite import get_benchmark
+
+
+def _task(name: str = "darknet.copy_cpu"):
+    return get_benchmark(name).task()
+
+
+def _lifter(**config_overrides):
+    oracle = SyntheticOracle(OracleConfig(seed=11))
+    return StaggSynthesizer(oracle, StaggConfig.topdown(**config_overrides))
+
+
+# ---------------------------------------------------------------------- #
+# Digests
+# ---------------------------------------------------------------------- #
+class TestDigest:
+    def test_digest_is_deterministic(self):
+        task = _task()
+        d1 = lift_digest(task, describe_lifter(_lifter()))
+        d2 = lift_digest(task, describe_lifter(_lifter()))
+        assert d1 == d2
+        assert len(d1) == 64  # sha256 hex
+
+    def test_digest_differs_per_task(self):
+        descriptor = describe_lifter(_lifter())
+        assert lift_digest(_task("darknet.copy_cpu"), descriptor) != lift_digest(
+            _task("mathfu.dot"), descriptor
+        )
+
+    def test_digest_covers_config_knobs(self):
+        task = _task()
+        base = lift_digest(task, describe_lifter(_lifter()))
+        bottomup = StaggSynthesizer(
+            SyntheticOracle(OracleConfig(seed=11)), StaggConfig.bottomup()
+        )
+        assert lift_digest(task, describe_lifter(bottomup)) != base
+        equal_prob = StaggSynthesizer(
+            SyntheticOracle(OracleConfig(seed=11)),
+            StaggConfig.topdown().with_equal_probability(),
+        )
+        assert lift_digest(task, describe_lifter(equal_prob)) != base
+
+    def test_digest_covers_oracle_identity(self):
+        task = _task()
+        base = lift_digest(task, describe_lifter(_lifter()))
+        other_seed = StaggSynthesizer(
+            SyntheticOracle(OracleConfig(seed=12)), StaggConfig.topdown()
+        )
+        assert lift_digest(task, describe_lifter(other_seed)) != base
+        static = StaggSynthesizer(
+            StaticOracle(["a(i) = b(i)"]), StaggConfig.topdown()
+        )
+        assert lift_digest(task, describe_lifter(static)) != base
+
+    def test_oracle_descriptor_names_class_and_config(self):
+        descriptor = describe_oracle(SyntheticOracle(OracleConfig(seed=3)))
+        assert descriptor["class"] == "SyntheticOracle"
+        assert descriptor["state"]["_config"]["seed"] == 3
+
+
+# ---------------------------------------------------------------------- #
+# Report round-trip
+# ---------------------------------------------------------------------- #
+class TestReportRoundTrip:
+    def test_success_report_round_trips(self):
+        report = _lifter().lift(_task())
+        assert report.success
+        restored = SynthesisReport.from_json_dict(
+            json.loads(json.dumps(report.to_json_dict()))
+        )
+        assert restored.to_json_dict() == report.to_json_dict()
+        assert restored.lifted_source == report.lifted_source
+        assert restored.elapsed_seconds == report.elapsed_seconds
+        assert restored.dimension_list == report.dimension_list
+
+    def test_failure_report_round_trips(self):
+        report = SynthesisReport(
+            task_name="t",
+            method="m",
+            success=False,
+            timed_out=True,
+            error="ValueError: boom",
+            elapsed_seconds=1.25,
+        )
+        restored = SynthesisReport.from_json_dict(report.to_json_dict())
+        assert restored.to_json_dict() == report.to_json_dict()
+        assert restored.timed_out and restored.error == "ValueError: boom"
+
+
+# ---------------------------------------------------------------------- #
+# The store
+# ---------------------------------------------------------------------- #
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = _lifter().lift(_task())
+        digest = lift_digest(_task(), describe_lifter(_lifter()))
+        assert store.get(digest) is None
+        assert store.misses == 1
+        store.put(digest, report, provenance={"origin": "test"})
+        entry = store.get(digest)
+        assert entry is not None
+        assert store.hits == 1
+        assert entry.report.to_json_dict() == report.to_json_dict()
+        assert digest in store
+        assert len(store) == 1
+        assert list(store.digests()) == [digest]
+
+    def test_provenance_recorded(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = _lifter().lift(_task())
+        digest = "ab" * 32
+        store.put(digest, report, provenance={"origin": "test"})
+        entry = store.get(digest)
+        assert entry.provenance["origin"] == "test"
+        assert "git_sha" in entry.provenance
+        assert "created_at" in entry.provenance
+        assert entry.provenance["attempts"] == report.attempts
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = _lifter().lift(_task())
+        store.put("cd" * 32, report)
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = _lifter().lift(_task())
+        digest = "ef" * 32
+        path = store.put(digest, report)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(digest) is None
+        assert store.misses == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = _lifter().lift(_task())
+        digest = "12" * 32
+        path = store.put(digest, report)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["schema"] = 999
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert store.get(digest) is None
+
+
+# ---------------------------------------------------------------------- #
+# CachedLifter
+# ---------------------------------------------------------------------- #
+class TestCachedLifter:
+    def test_second_lift_skips_synthesis(self, tmp_path):
+        cached = CachedLifter(_lifter(), tmp_path)
+        task = _task()
+        cold = cached.lift(task)
+        assert cold.success
+        invocations = synthesis_invocations()
+        warm = cached.lift(task)
+        assert synthesis_invocations() == invocations  # no new pipeline run
+        assert cached.store.hits == 1
+        assert warm.to_json_dict() == cold.to_json_dict()
+
+    def test_cache_is_shared_across_instances(self, tmp_path):
+        task = _task()
+        CachedLifter(_lifter(), tmp_path).lift(task)
+        invocations = synthesis_invocations()
+        again = CachedLifter(_lifter(), tmp_path)
+        report = again.lift(task)
+        assert synthesis_invocations() == invocations
+        assert report.success
+
+    def test_distinct_configs_do_not_collide(self, tmp_path):
+        task = _task()
+        td = CachedLifter(_lifter(), tmp_path)
+        bu = CachedLifter(
+            StaggSynthesizer(
+                SyntheticOracle(OracleConfig(seed=11)), StaggConfig.bottomup()
+            ),
+            tmp_path,
+        )
+        assert td.digest_for(task) != bu.digest_for(task)
+
+    def test_pickles_without_store_handle(self, tmp_path):
+        cached = CachedLifter(_lifter(), tmp_path)
+        cached.lift(_task())  # materialise the store
+        clone = pickle.loads(pickle.dumps(cached))
+        invocations = synthesis_invocations()
+        report = clone.lift(_task())
+        assert report.success
+        assert synthesis_invocations() == invocations
+
+    def test_successes_only_skips_failure_replay(self, tmp_path):
+        class FailingLifter:
+            def __init__(self):
+                self.calls = 0
+
+            def lift(self, task):
+                self.calls += 1
+                return SynthesisReport(
+                    task_name=task.name, method="fail", success=False, error="nope"
+                )
+
+        inner = FailingLifter()
+        cached = CachedLifter(inner, tmp_path, successes_only=True)
+        cached.lift(_task())
+        cached.lift(_task())
+        assert inner.calls == 2  # failures are not replayed in this mode
+
+    def test_failures_replayed_by_default(self, tmp_path):
+        class FailingLifter:
+            def __init__(self):
+                self.calls = 0
+
+            def lift(self, task):
+                self.calls += 1
+                return SynthesisReport(
+                    task_name=task.name, method="fail", success=False, error="nope"
+                )
+
+        inner = FailingLifter()
+        cached = CachedLifter(inner, tmp_path)
+        first = cached.lift(_task())
+        second = cached.lift(_task())
+        assert inner.calls == 1
+        assert second.to_json_dict() == first.to_json_dict()
