@@ -63,13 +63,14 @@ class C2TacoLifter(BaselineLifter):
         self,
         use_heuristics: bool = True,
         num_io_examples: int = 3,
-        verifier_config: VerifierConfig = VerifierConfig(),
+        verifier_config: Optional[VerifierConfig] = None,
         seed: int = 7,
         timeout_seconds: Optional[float] = None,
         max_operands: int = 4,
         max_candidates: int = MAX_CANDIDATES,
+        tiered: bool = True,
     ) -> None:
-        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds)
+        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds, tiered)
         self._use_heuristics = use_heuristics
         self._max_operands = max_operands
         self._max_candidates = max_candidates
@@ -104,7 +105,7 @@ class C2TacoLifter(BaselineLifter):
         size_limit = self._operand_limit(function, signature)
 
         for candidate in self._enumerate(lhs, operand_pool, size_limit):
-            if self._out_of_time(started):
+            if self._out_of_time(started, context.budget):
                 report.timed_out = True
                 return
             report.attempts += 1

@@ -28,11 +28,12 @@ class LLMOnlyLifter(BaselineLifter):
         self,
         oracle: LLMOracle,
         num_io_examples: int = 3,
-        verifier_config: VerifierConfig = VerifierConfig(),
+        verifier_config: Optional[VerifierConfig] = None,
         seed: int = 7,
         timeout_seconds: Optional[float] = None,
+        tiered: bool = True,
     ) -> None:
-        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds)
+        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds, tiered)
         self._oracle = oracle
 
     def _lift_with_context(
@@ -47,7 +48,7 @@ class LLMOnlyLifter(BaselineLifter):
             name=task.name,
             reference_solution=task.reference_solution,
         )
-        response = self._oracle.propose(query)
+        response = self._oracle.propose(query, budget=context.budget)
         report.oracle_valid_candidates = response.num_valid
         report.oracle_rejected_candidates = response.num_rejected
 
@@ -56,7 +57,7 @@ class LLMOnlyLifter(BaselineLifter):
         # correct binding of tensors to the C function's arguments.
         templates = deduplicate(templatize_all(response.candidates))
         for template in templates:
-            if self._out_of_time(started):
+            if self._out_of_time(started, context.budget):
                 report.timed_out = True
                 return
             report.attempts += 1

@@ -64,11 +64,12 @@ class TenspilerLifter(BaselineLifter):
     def __init__(
         self,
         num_io_examples: int = 3,
-        verifier_config: VerifierConfig = VerifierConfig(),
+        verifier_config: Optional[VerifierConfig] = None,
         seed: int = 7,
         timeout_seconds: Optional[float] = None,
+        tiered: bool = True,
     ) -> None:
-        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds)
+        super().__init__(num_io_examples, verifier_config, seed, timeout_seconds, tiered)
 
     # ------------------------------------------------------------------ #
     # Lifting
@@ -98,7 +99,7 @@ class TenspilerLifter(BaselineLifter):
         for candidate in self._instantiations(
             output_name, output_rank, tensors, scalars, constants
         ):
-            if self._out_of_time(started):
+            if self._out_of_time(started, context.budget):
                 report.timed_out = True
                 return
             report.attempts += 1

@@ -12,10 +12,15 @@ The CLI exposes the library's main entry points without writing any Python:
     Show the Prompt-1 text and the synthetic oracle's candidate list for a
     benchmark (useful for inspecting / recording oracle behaviour).
 ``python -m repro lift <name-or-file.c>``
-    Lift a corpus benchmark, or an arbitrary C file, to TACO.
+    Lift a corpus benchmark, or an arbitrary C file, to TACO.  ``--method``
+    selects any registered lifting method (STAGG, ablations, baselines);
+    ``-v`` streams live stage progress.
+``python -m repro methods``
+    List every registered lifting method (the names ``--method`` accepts).
 ``python -m repro evaluate``
     Run the evaluation harness over a corpus slice and print the paper's
-    tables and figures.
+    tables and figures.  ``--method`` (repeatable) runs an ad-hoc set of
+    registry methods instead of the standard tables.
 ``python -m repro serve``
     Run the lifting service: an HTTP front end over the job scheduler and
     the content-addressed result store.
@@ -40,8 +45,14 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
 from .core.task import InputSpec, LiftingTask
+from .lifting import (
+    PrintObserver,
+    method_name_for,
+    method_names,
+    method_spec,
+    resolve_method,
+)
 from .cfront import parse_function
 from .cfront.analysis import analyze_signature, predict_dimensions
 from .evaluation import (
@@ -53,6 +64,7 @@ from .evaluation import (
     format_table,
     grammar_ablation_methods,
     method_metrics,
+    methods_by_name,
     penalty_ablation_methods,
     save_csv,
     save_json,
@@ -110,6 +122,17 @@ def build_parser() -> argparse.ArgumentParser:
     lift = subparsers.add_parser("lift", help="lift a benchmark or a C file to TACO")
     lift.add_argument("target", help="benchmark name or path to a .c file")
     lift.add_argument(
+        "--method", default=None,
+        help="registered lifting method to run (see `repro methods`): any "
+        "STAGG configuration, ablation or baseline by name; overrides "
+        "--search/--grammar/--probabilities",
+    )
+    lift.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="stream live stage progress (oracle, templatize, dimension, "
+        "grammar, search) while the lift runs",
+    )
+    lift.add_argument(
         "--search", choices=("topdown", "bottomup"), default="topdown",
         help="which A* search to use (default: topdown)",
     )
@@ -154,11 +177,20 @@ def build_parser() -> argparse.ArgumentParser:
         "from the store without re-running synthesis",
     )
 
+    subparsers.add_parser(
+        "methods", help="list the registered lifting methods (for --method)"
+    )
+
     evaluate = subparsers.add_parser("evaluate", help="run the evaluation harness")
     evaluate.add_argument(
         "--methods", choices=("standard", "penalties", "grammars"),
         default="standard",
         help="which method set to run (Table 1 / Table 2 / Table 3)",
+    )
+    evaluate.add_argument(
+        "--method", action="append", default=None,
+        help="registered method name to run (repeatable; see `repro "
+        "methods`); overrides --methods with an ad-hoc set",
     )
     evaluate.add_argument("--category", action="append", default=None)
     evaluate.add_argument("--limit", type=int, default=None, help="first N benchmarks")
@@ -235,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--spec", default=None,
         help="path to a JSON input specification for a raw .c file",
+    )
+    submit.add_argument(
+        "--method", default=None,
+        help="registered lifting method name (incl. baselines); overrides "
+        "--search",
     )
     submit.add_argument(
         "--search", choices=("topdown", "bottomup"), default="topdown"
@@ -403,6 +440,15 @@ def _oracle_for_lift(args: argparse.Namespace, task: LiftingTask):
     return SyntheticOracle(OracleConfig())
 
 
+def _cmd_methods(args: argparse.Namespace) -> int:
+    names = method_names()
+    for name in names:
+        spec = method_spec(name)
+        print(f"{name:30s} [{spec.kind:8s}] {spec.description}")
+    print(f"({len(names)} registered methods)")
+    return 0
+
+
 def _cmd_lift(args: argparse.Namespace) -> int:
     try:
         task = _task_for_target(args)
@@ -410,25 +456,26 @@ def _cmd_lift(args: argparse.Namespace) -> int:
         print(error.args[0], file=sys.stderr)
         return 1
     oracle = _oracle_for_lift(args, task)
-    config = StaggConfig(
-        search=args.search,
-        grammar_mode=args.grammar,
-        probability_mode=args.probabilities,
-        limits=SearchLimits(timeout_seconds=args.timeout),
-        verifier=VerifierConfig(),
-        seed=args.seed,
-        label=f"STAGG_{'TD' if args.search == 'topdown' else 'BU'}",
+    name = args.method or method_name_for(
+        args.search, args.grammar, args.probabilities
     )
-    synthesizer = StaggSynthesizer(oracle, config)
+    try:
+        synthesizer = resolve_method(
+            name, oracle=oracle, timeout_seconds=args.timeout, seed=args.seed
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 1
+    observer = PrintObserver() if args.verbose else None
     cached = False
     if args.cache_dir:
         from .service import CachedLifter
 
         lifter = CachedLifter(synthesizer, args.cache_dir)
-        report = lifter.lift(task)
+        report = lifter.lift(task, observer=observer)
         cached = lifter.store.hits > 0
     else:
-        report = synthesizer.lift(task)
+        report = synthesizer.lift(task, observer=observer)
     print(report.summary() + (" [served from cache]" if cached else ""))
     if not report.success:
         if report.error:
@@ -475,9 +522,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     oracle = SyntheticOracle(OracleConfig(seed=args.seed))
-    methods = _method_factory(args.methods)(
-        oracle=oracle, timeout_seconds=args.timeout
-    )
+    try:
+        if args.method:
+            methods = methods_by_name(
+                args.method, oracle=oracle, timeout_seconds=args.timeout
+            )
+        else:
+            methods = _method_factory(args.methods)(
+                oracle=oracle, timeout_seconds=args.timeout
+            )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
     print(
         f"running {len(methods)} methods over {len(benchmarks)} benchmarks "
         f"(timeout {args.timeout:.0f}s per query)"
@@ -585,6 +641,8 @@ def _http_json(url: str, payload: Optional[dict] = None) -> Tuple[int, dict]:
 def _submit_payload(args: argparse.Namespace) -> dict:
     """Build the /submit payload implied by the CLI arguments."""
     payload: dict = {"search": args.search, "priority": args.priority}
+    if args.method:
+        payload["method"] = args.method
     if args.timeout is not None:
         payload["timeout"] = args.timeout
     path = Path(args.target)
@@ -671,6 +729,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "corpus": _cmd_corpus,
     "oracle": _cmd_oracle,
+    "methods": _cmd_methods,
     "lift": _cmd_lift,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,

@@ -19,6 +19,32 @@ CandidateChecker = Callable[
     [TacoProgram], Tuple[bool, Optional[ValidationResult], Optional[VerificationResult]]
 ]
 
+#: How many queue expansions a search performs between observer
+#: ``search_progress`` notifications.  Canonical definition (re-exported by
+#: :mod:`repro.lifting.observer`); a power of two keeps the modulo cheap.
+SEARCH_PROGRESS_INTERVAL = 512
+
+
+def safe_notify(observer, method: str, *args) -> None:
+    """Invoke ``observer.method(*args)``, swallowing observer errors.
+
+    The single implementation of the "observers must never abort a lift"
+    contract (re-exported by :mod:`repro.lifting.observer`).  Duck-typed so
+    the core package never imports :mod:`repro.lifting` at module scope;
+    ``observer=None`` is the common fast path and returns immediately.
+    """
+    if observer is None:
+        return
+    try:
+        getattr(observer, method)(*args)
+    except Exception:  # noqa: BLE001 - observers are untrusted plugins
+        pass
+
+
+def notify_search_progress(observer, nodes_expanded: int, candidates_tried: int) -> None:
+    """Heartbeat an observer from inside a search loop, swallowing errors."""
+    safe_notify(observer, "search_progress", nodes_expanded, candidates_tried)
+
 
 @dataclass(frozen=True)
 class SearchLimits:
@@ -157,14 +183,23 @@ class PriorityQueue:
 
 
 class Deadline:
-    """A small helper tracking the wall-clock budget of a search."""
+    """A small helper tracking the wall-clock budget of a search.
 
-    def __init__(self, timeout_seconds: Optional[float]) -> None:
+    ``budget`` is an optional cooperative :class:`repro.lifting.Budget`
+    (duck-typed: anything with ``expired()``): the deadline then expires at
+    whichever comes first — the search's own ``timeout_seconds`` or the
+    caller's budget (deadline or cancellation).
+    """
+
+    def __init__(self, timeout_seconds: Optional[float], budget=None) -> None:
         self._start = time.monotonic()
         self._timeout = timeout_seconds
+        self._budget = budget
 
     def expired(self) -> bool:
-        return self._timeout is not None and self.elapsed() >= self._timeout
+        if self._timeout is not None and self.elapsed() >= self._timeout:
+            return True
+        return self._budget is not None and self._budget.expired()
 
     def elapsed(self) -> float:
         return time.monotonic() - self._start

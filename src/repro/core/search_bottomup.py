@@ -28,9 +28,11 @@ from .search import (
     CandidateChecker,
     Deadline,
     PriorityQueue,
+    SEARCH_PROGRESS_INTERVAL,
     SearchLimits,
     SearchOutcome,
     VisitedForms,
+    notify_search_progress,
 )
 
 
@@ -43,21 +45,22 @@ class BottomUpSearch:
         dimension_list: DimensionList,
         penalties: PenaltyEvaluator,
         checker: CandidateChecker,
-        limits: SearchLimits = SearchLimits(),
+        limits: Optional[SearchLimits] = None,
     ) -> None:
         self._grammar = grammar
         self._dimension_list = dimension_list
         self._costs = BottomUpCostModel(grammar, dimension_list)
         self._penalties = penalties
         self._checker = checker
-        self._limits = limits
+        self._limits = limits if limits is not None else SearchLimits()
 
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
-    def run(self) -> SearchOutcome:
+    def run(self, budget=None, observer=None) -> SearchOutcome:
+        """Run the search; ``budget``/``observer`` cooperatively bound/watch it."""
         outcome = SearchOutcome(success=False)
-        deadline = Deadline(self._limits.timeout_seconds)
+        deadline = Deadline(self._limits.timeout_seconds, budget)
         queue = PriorityQueue()
         checked: set[str] = set()
         visited = VisitedForms() if self._limits.prune_duplicates else None
@@ -73,6 +76,10 @@ class BottomUpSearch:
                 break
             _priority, (tree, accumulated_cost) = queue.pop()
             outcome.nodes_expanded += 1
+            if outcome.nodes_expanded % SEARCH_PROGRESS_INTERVAL == 0:
+                notify_search_progress(
+                    observer, outcome.nodes_expanded, outcome.candidates_tried
+                )
 
             symbols = tree.yield_symbols()
             tensors_in_form = count_rhs_tensors(symbols) + 1  # + LHS tensor

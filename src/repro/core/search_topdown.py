@@ -28,9 +28,11 @@ from .search import (
     CandidateChecker,
     Deadline,
     PriorityQueue,
+    SEARCH_PROGRESS_INTERVAL,
     SearchLimits,
     SearchOutcome,
     VisitedForms,
+    notify_search_progress,
 )
 
 
@@ -42,20 +44,21 @@ class TopDownSearch:
         grammar: ProbabilisticGrammar,
         penalties: PenaltyEvaluator,
         checker: CandidateChecker,
-        limits: SearchLimits = SearchLimits(),
+        limits: Optional[SearchLimits] = None,
     ) -> None:
         self._grammar = grammar
         self._costs = TopDownCostModel(grammar)
         self._penalties = penalties
         self._checker = checker
-        self._limits = limits
+        self._limits = limits if limits is not None else SearchLimits()
 
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
-    def run(self) -> SearchOutcome:
+    def run(self, budget=None, observer=None) -> SearchOutcome:
+        """Run the search; ``budget``/``observer`` cooperatively bound/watch it."""
         outcome = SearchOutcome(success=False)
-        deadline = Deadline(self._limits.timeout_seconds)
+        deadline = Deadline(self._limits.timeout_seconds, budget)
         queue = PriorityQueue()
         checked: set[str] = set()
         visited = (
@@ -75,6 +78,10 @@ class TopDownSearch:
                 break
             _priority, (tree, accumulated_cost, depth) = queue.pop()
             outcome.nodes_expanded += 1
+            if outcome.nodes_expanded % SEARCH_PROGRESS_INTERVAL == 0:
+                notify_search_progress(
+                    observer, outcome.nodes_expanded, outcome.candidates_tried
+                )
 
             if depth > self._limits.max_depth:
                 continue

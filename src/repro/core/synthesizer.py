@@ -13,39 +13,25 @@ Given a lifting task, the synthesizer
    instantiations against the original C code with the bounded equivalence
    checker (Section 7).
 
-Every stage is controlled by :class:`repro.core.config.StaggConfig`, which is
-how the evaluation's ablations are expressed.
+The stages themselves live in :mod:`repro.lifting.pipeline` as explicit
+stage objects over a typed :class:`~repro.lifting.pipeline.PipelineState`;
+this class is the stable ``lift()`` front door.  Every stage is controlled
+by :class:`repro.core.config.StaggConfig`, which is how the evaluation's
+ablations are expressed; a per-invocation :class:`~repro.lifting.Budget`
+and :class:`~repro.lifting.LiftObserver` may additionally bound and watch
+one run without touching the config (or the service digest).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional
 
-from ..cfront.analysis import analyze_signature, harvest_constants, predict_output_rank
-from ..grammars import ProbabilisticGrammar
-from ..llm import LLMOracle, LiftingQuery, OracleResponse
-from ..taco import TacoProgram
+from ..llm import LLMOracle
 from .config import StaggConfig
-from .dimension_list import num_unique_indices, predict_dimension_list
-from .grammar_gen import (
-    bottomup_template_grammar,
-    full_bottomup_template_grammar,
-    full_template_grammar,
-    topdown_template_grammar,
-)
-from .io_examples import IOExampleGenerator
-from .pcfg_learn import learn_pcfg, operator_weights
-from .penalties import PenaltyContext, PenaltyEvaluator
 from .result import SynthesisReport
-from .search import SearchLimits, SearchOutcome
-from .search_bottomup import BottomUpSearch
-from .search_topdown import TopDownSearch
 from .task import LiftingTask
-from .templates import Template, templatize_all
-from .validator import TemplateValidator, ValidationResult
-from .verifier import BoundedEquivalenceChecker, VerificationResult
 
 
 # Process-wide count of full synthesis runs (every StaggSynthesizer.lift call).
@@ -70,26 +56,88 @@ def _count_invocation() -> None:
 class StaggSynthesizer:
     """Lifts C kernels to TACO using LLM-guided grammar synthesis."""
 
-    def __init__(self, oracle: LLMOracle, config: StaggConfig = StaggConfig()) -> None:
+    def __init__(self, oracle: LLMOracle, config: Optional[StaggConfig] = None) -> None:
         self._oracle = oracle
-        self._config = config
+        # None-sentinel construction: a class-level `config=StaggConfig()`
+        # default would be evaluated once at definition time and shared by
+        # every instance.
+        self._config = config if config is not None else StaggConfig()
 
     @property
     def config(self) -> StaggConfig:
         return self._config
 
+    @property
+    def oracle(self) -> LLMOracle:
+        return self._oracle
+
     # ------------------------------------------------------------------ #
-    # Public API
+    # Public API (the repro.lifting.Lifter protocol)
     # ------------------------------------------------------------------ #
-    def lift(self, task: LiftingTask) -> SynthesisReport:
-        """Lift *task* and report the outcome (never raises for task errors)."""
+    def lift(
+        self,
+        task: LiftingTask,
+        *,
+        budget=None,
+        observer=None,
+    ) -> SynthesisReport:
+        """Lift *task* and report the outcome (never raises for task errors).
+
+        ``budget`` cooperatively bounds this invocation (deadline and/or
+        cancellation) on top of the config's own search limits; ``observer``
+        receives stage and search progress events.
+        """
+        from ..lifting.pipeline import PipelineState
+
+        return self._run(PipelineState(task=task), budget, observer)
+
+    def lift_from_state(
+        self,
+        state,
+        *,
+        budget=None,
+        observer=None,
+    ) -> SynthesisReport:
+        """Re-lift from a populated :class:`PipelineState`.
+
+        Oracle-derived artifacts (response, templates, dimension list) are
+        reused — the oracle is *not* re-queried — while config-derived
+        artifacts (grammar, pCFG, search outcome) are cleared and rebuilt
+        under this synthesizer's configuration.  This is how a caller
+        re-searches the same candidates under a new config.
+        """
+        state.reset_derived()
+        return self._run(state, budget, observer)
+
+    def descriptor(self) -> Dict[str, object]:
+        """JSON-safe method identity for the service's store digest."""
+        from ..lifting.descriptor import describe_lifter
+
+        return describe_lifter(self)
+
+    # ------------------------------------------------------------------ #
+    # Pipeline execution
+    # ------------------------------------------------------------------ #
+    def _run(self, state, budget, observer) -> SynthesisReport:
+        # Imported lazily: the lifting package imports core, so the pipeline
+        # must be resolved at call time to keep module imports acyclic.
+        from ..lifting.budget import BudgetExceeded
+        from ..lifting.pipeline import StaggPipeline
+
         _count_invocation()
         started = time.monotonic()
         report = SynthesisReport(
-            task_name=task.name, method=self._config.label, success=False
+            task_name=state.task.name, method=self._config.label, success=False
         )
+        pipeline = StaggPipeline(self._oracle, self._config)
         try:
-            outcome = self._lift_inner(task, report)
+            outcome = pipeline.run(state, report, budget=budget, observer=observer)
+        except BudgetExceeded:
+            # The budget expired at a stage boundary (search-level expiry
+            # returns a timed-out outcome instead): not an error, a timeout.
+            report.timed_out = True
+            report.elapsed_seconds = time.monotonic() - started
+            return report
         except Exception as error:  # noqa: BLE001 - report, don't crash the harness
             report.error = f"{type(error).__name__}: {error}"
             report.elapsed_seconds = time.monotonic() - started
@@ -103,134 +151,3 @@ class StaggSynthesizer:
             report.nodes_expanded = outcome.nodes_expanded
             report.timed_out = outcome.timed_out
         return report
-
-    # ------------------------------------------------------------------ #
-    # Pipeline stages
-    # ------------------------------------------------------------------ #
-    def _lift_inner(
-        self, task: LiftingTask, report: SynthesisReport
-    ) -> Optional[SearchOutcome]:
-        config = self._config
-        function = task.parse()
-        signature = analyze_signature(function)
-        constants = harvest_constants(function)
-
-        # Stage 1: LLM candidates.
-        response = self._query_oracle(task)
-        report.oracle_valid_candidates = response.num_valid
-        report.oracle_rejected_candidates = response.num_rejected
-
-        # Stage 2: templatization.  Candidates are *not* de-duplicated here:
-        # the dimension-list vote and the pCFG weights are frequency-based,
-        # so repeated (structurally identical) candidates should count once
-        # per occurrence, exactly as in Section 4.3.
-        templates = templatize_all(response.candidates)
-
-        # Stage 3: dimension-list prediction.
-        prediction = predict_dimension_list(templates, function)
-        dimension_list = prediction.dimension_list
-        report.dimension_list = dimension_list
-        report.details["voted_dimension_list"] = prediction.voted_list
-        report.details["static_lhs_rank"] = prediction.static_lhs_rank
-        indices = num_unique_indices(templates)
-
-        # Stage 4: grammar generation + probability learning.
-        grammar, style = self._build_grammar(dimension_list, indices, templates)
-        pcfg = learn_pcfg(
-            grammar,
-            templates,
-            style=style,
-            probability_mode=config.probability_mode,
-        )
-        report.details["grammar_size"] = len(grammar)
-
-        # Stage 5: search with validation + verification.
-        examples = IOExampleGenerator(
-            task, function, signature, seed=config.seed
-        ).generate(config.num_io_examples)
-        validator = TemplateValidator(examples, constants, tiered=config.tiered_validation)
-        verifier = BoundedEquivalenceChecker(
-            task, function, signature, config=config.verifier
-        )
-
-        def check(
-            template: TacoProgram,
-        ) -> Tuple[bool, Optional[ValidationResult], Optional[VerificationResult]]:
-            validation = validator.validate(template)
-            if not validation.success or validation.concrete_program is None:
-                return False, validation, None
-            verification = verifier.verify(validation.concrete_program)
-            return bool(verification.equivalent), validation, verification
-
-        weights = operator_weights(grammar, templates, style=style)
-        max_weight = max(weights.values(), default=0.0)
-        # Operators "defined in the grammar" (criteria a5/b2): those whose
-        # learned probability is not incidental noise.  An operator counts as
-        # defined when the candidates used it at least twice and strictly
-        # more than half as often as the most-used operator (cf. Figure 3,
-        # where only the operators with non-zero probability matter).
-        dominant_operators = frozenset(
-            op
-            for op, weight in weights.items()
-            if weight >= 2.0 and weight > 0.5 * max_weight
-        )
-        context = PenaltyContext(
-            dimension_list=dimension_list,
-            grammar_has_constant=any("Const" in str(p.rhs) for p in grammar.productions),
-            observed_operators=dominant_operators,
-        )
-        if config.search == "topdown":
-            evaluator = PenaltyEvaluator.topdown(context, config.penalties)
-            search = TopDownSearch(pcfg, evaluator, check, config.limits)
-        else:
-            evaluator = PenaltyEvaluator.bottomup(context, config.penalties)
-            search = BottomUpSearch(
-                pcfg, dimension_list, evaluator, check, config.limits
-            )
-        return search.run()
-
-    # ------------------------------------------------------------------ #
-    # Helpers
-    # ------------------------------------------------------------------ #
-    def _query_oracle(self, task: LiftingTask) -> OracleResponse:
-        query = LiftingQuery(
-            c_source=task.c_source,
-            name=task.name,
-            reference_solution=task.reference_solution,
-        )
-        return self._oracle.propose(query)
-
-    def _build_grammar(
-        self,
-        dimension_list: Tuple[int, ...],
-        indices: int,
-        templates: Sequence[Template],
-    ):
-        config = self._config
-        style = "topdown" if config.search == "topdown" else "bottomup"
-        if config.grammar_mode == "refined":
-            if style == "topdown":
-                grammar = topdown_template_grammar(dimension_list, indices, templates)
-            else:
-                grammar = bottomup_template_grammar(dimension_list, indices, templates)
-            return grammar, style
-        # Unrefined ("full") grammars for the FullGrammar / LLMGrammar ablations.
-        lhs_rank = dimension_list[0] if dimension_list else 0
-        max_rank = max(
-            [config.full_grammar_max_rank] + [rank for rank in dimension_list]
-        )
-        if style == "topdown":
-            grammar = full_template_grammar(
-                lhs_rank,
-                max_rhs_tensors=config.full_grammar_max_tensors,
-                max_rank=max_rank,
-                num_indices=max(config.full_grammar_num_indices, indices),
-            )
-        else:
-            grammar = full_bottomup_template_grammar(
-                lhs_rank,
-                max_rhs_tensors=config.full_grammar_max_tensors,
-                max_rank=max_rank,
-                num_indices=max(config.full_grammar_num_indices, indices),
-            )
-        return grammar, style

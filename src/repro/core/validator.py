@@ -69,6 +69,11 @@ MAX_SUBSTITUTIONS = 4096
 SCREEN_RTOL = 1e-6
 SCREEN_ATOL = 1e-9
 
+#: How many substitutions the validator tries between budget polls; small
+#: enough that a cancelled lift stops within microseconds of real work,
+#: large enough that the monotonic-clock read stays off the hot path.
+BUDGET_POLL_INTERVAL = 64
+
 
 @dataclass
 class ValidationResult:
@@ -177,8 +182,14 @@ class TemplateValidator:
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
-    def validate(self, template: TacoProgram) -> ValidationResult:
-        """Search for a substitution that satisfies every I/O example."""
+    def validate(self, template: TacoProgram, budget=None) -> ValidationResult:
+        """Search for a substitution that satisfies every I/O example.
+
+        ``budget`` (duck-typed: anything with ``expired()``) is polled every
+        :data:`BUDGET_POLL_INTERVAL` substitutions, so a cancelled or
+        deadline-expired lift stops mid-enumeration rather than finishing a
+        long substitution sweep first.
+        """
         rhs_symbols = self._rhs_tensor_symbols(template)
         constant_count = self._count_symbolic_constants(template)
 
@@ -213,6 +224,12 @@ class TemplateValidator:
             ):
                 tried += 1
                 if tried > self._max_substitutions:
+                    return ValidationResult(success=False, substitutions_tried=tried)
+                if (
+                    budget is not None
+                    and tried % BUDGET_POLL_INTERVAL == 0
+                    and budget.expired()
+                ):
                     return ValidationResult(success=False, substitutions_tried=tried)
                 concrete = self._satisfying_program(
                     template, substitution, constant_choice, raw_accesses, use_alias

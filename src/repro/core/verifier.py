@@ -75,14 +75,14 @@ class BoundedEquivalenceChecker:
         task: LiftingTask,
         function: Optional[FunctionDef] = None,
         signature: Optional[SignatureInfo] = None,
-        config: VerifierConfig = VerifierConfig(),
+        config: Optional[VerifierConfig] = None,
     ) -> None:
         self._task = task
         self._function = function if function is not None else task.parse()
         self._signature = (
             signature if signature is not None else analyze_signature(self._function)
         )
-        self._config = config
+        self._config = config if config is not None else VerifierConfig()
         self._evaluator = TacoEvaluator(mode="exact")
         self._generator = IOExampleGenerator(
             task, self._function, self._signature, seed=1729

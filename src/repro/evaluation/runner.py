@@ -27,11 +27,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from ..baselines import C2TacoLifter, LLMOnlyLifter, TenspilerLifter
-from ..core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
 from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
-from ..llm import LLMOracle, OracleConfig, SyntheticOracle
+from ..lifting import (
+    BASELINE_CANDIDATE_BUDGET,
+    GRAMMAR_ABLATION_METHODS,
+    PENALTY_ABLATION_METHODS,
+    STANDARD_METHODS,
+    default_limits,
+    default_verifier_config,
+    resolve_methods,
+)
+from ..llm import LLMOracle
 from ..suite import Benchmark
 
 #: A lifting method: anything with a ``lift(task) -> SynthesisReport`` method.
@@ -234,28 +241,21 @@ class EvaluationRunner:
 
 
 # ---------------------------------------------------------------------- #
-# Standard method factories
+# Standard method factories (thin wrappers over the method registry)
 # ---------------------------------------------------------------------- #
-def default_verifier_config() -> VerifierConfig:
-    """Verifier bounds used across the evaluation (small but meaningful)."""
-    return VerifierConfig(size_bound=2, exhaustive_cap=729, sampled_checks=24)
+def methods_by_name(
+    names: Sequence[str],
+    oracle: Optional[LLMOracle] = None,
+    timeout_seconds: Optional[float] = 60.0,
+) -> Dict[str, Lifter]:
+    """Resolve registry *names* into the runner's ``{label: lifter}`` shape.
 
-
-def default_limits(timeout_seconds: Optional[float]) -> SearchLimits:
-    return SearchLimits(
-        max_expansions=120_000,
-        max_candidates=2_400,
-        timeout_seconds=timeout_seconds,
-    )
-
-
-#: Candidate budget for the enumerative baselines.  The published C2TACO pays
-#: one TACO-compiler compile-and-run per candidate (roughly 1.5 s), so the
-#: paper's 60-minute per-query budget corresponds to ~2400 candidates.  The
-#: reproduction executes candidates orders of magnitude faster, so without
-#: this cap the baselines would effectively enjoy a budget of many hours and
-#: their coverage relative to STAGG would be misrepresented.
-BASELINE_CANDIDATE_BUDGET = 2_400
+    Every method the evaluation runs is constructed through
+    :func:`repro.lifting.resolve_methods` — the same path the CLI and the
+    HTTP service use — so a sweep's lifters carry the exact store digests a
+    service populated for the same names.
+    """
+    return resolve_methods(names, oracle=oracle, timeout_seconds=timeout_seconds)
 
 
 def standard_methods(
@@ -268,38 +268,8 @@ def standard_methods(
     ``include`` restricts the returned dictionary to a subset of labels
     (useful for quick runs and tests).
     """
-    oracle = oracle or SyntheticOracle(OracleConfig())
-    verifier = default_verifier_config()
-    limits = default_limits(timeout_seconds)
-    methods: Dict[str, Lifter] = {
-        "STAGG_TD": StaggSynthesizer(
-            oracle, StaggConfig.topdown(limits=limits, verifier=verifier)
-        ),
-        "STAGG_BU": StaggSynthesizer(
-            oracle, StaggConfig.bottomup(limits=limits, verifier=verifier)
-        ),
-        "LLM": LLMOnlyLifter(
-            oracle, verifier_config=verifier, timeout_seconds=timeout_seconds
-        ),
-        "C2TACO": C2TacoLifter(
-            use_heuristics=True,
-            verifier_config=verifier,
-            timeout_seconds=timeout_seconds,
-            max_candidates=BASELINE_CANDIDATE_BUDGET,
-        ),
-        "C2TACO.NoHeuristics": C2TacoLifter(
-            use_heuristics=False,
-            verifier_config=verifier,
-            timeout_seconds=timeout_seconds,
-            max_candidates=BASELINE_CANDIDATE_BUDGET,
-        ),
-        "Tenspiler": TenspilerLifter(
-            verifier_config=verifier, timeout_seconds=timeout_seconds
-        ),
-    }
-    if include is not None:
-        methods = {label: methods[label] for label in include}
-    return methods
+    names = STANDARD_METHODS if include is None else tuple(include)
+    return methods_by_name(names, oracle=oracle, timeout_seconds=timeout_seconds)
 
 
 def penalty_ablation_methods(
@@ -307,25 +277,9 @@ def penalty_ablation_methods(
     timeout_seconds: Optional[float] = 60.0,
 ) -> Dict[str, Lifter]:
     """The Table-2 configurations: full STAGG plus penalty-dropping variants."""
-    oracle = oracle or SyntheticOracle(OracleConfig())
-    verifier = default_verifier_config()
-    limits = default_limits(timeout_seconds)
-    topdown = StaggConfig.topdown(limits=limits, verifier=verifier)
-    bottomup = StaggConfig.bottomup(limits=limits, verifier=verifier)
-    configs = [
-        topdown,
-        topdown.with_dropped_penalties("A"),
-        topdown.with_dropped_penalties("a1"),
-        topdown.with_dropped_penalties("a2"),
-        topdown.with_dropped_penalties("a3"),
-        topdown.with_dropped_penalties("a4"),
-        topdown.with_dropped_penalties("a5"),
-        bottomup,
-        bottomup.with_dropped_penalties("B"),
-        bottomup.with_dropped_penalties("b1"),
-        bottomup.with_dropped_penalties("b2"),
-    ]
-    return {config.label: StaggSynthesizer(oracle, config) for config in configs}
+    return methods_by_name(
+        PENALTY_ABLATION_METHODS, oracle=oracle, timeout_seconds=timeout_seconds
+    )
 
 
 def grammar_ablation_methods(
@@ -333,19 +287,6 @@ def grammar_ablation_methods(
     timeout_seconds: Optional[float] = 60.0,
 ) -> Dict[str, Lifter]:
     """The Table-3 / Figure-11 / Figure-12 grammar configurations."""
-    oracle = oracle or SyntheticOracle(OracleConfig())
-    verifier = default_verifier_config()
-    limits = default_limits(timeout_seconds)
-    topdown = StaggConfig.topdown(limits=limits, verifier=verifier)
-    bottomup = StaggConfig.bottomup(limits=limits, verifier=verifier)
-    configs = [
-        topdown,
-        topdown.with_equal_probability(),
-        topdown.with_llm_grammar(),
-        topdown.with_full_grammar(),
-        bottomup,
-        bottomup.with_equal_probability(),
-        bottomup.with_llm_grammar(),
-        bottomup.with_full_grammar(),
-    ]
-    return {config.label: StaggSynthesizer(oracle, config) for config in configs}
+    return methods_by_name(
+        GRAMMAR_ABLATION_METHODS, oracle=oracle, timeout_seconds=timeout_seconds
+    )

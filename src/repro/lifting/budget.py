@@ -1,0 +1,91 @@
+"""Cooperative time budgets for lifting runs.
+
+A :class:`Budget` is the one object every layer of a lift agrees to poll: the
+pipeline checks it between stages, the searches check it every queue pop, the
+validator checks it between substitution batches, and the oracle checks it
+before issuing a query.  It combines a wall-clock deadline with an explicit
+cancellation token, so a caller (the lifting service's scheduler, a CLI
+Ctrl-C handler, a test) can stop a run early without killing its thread —
+the run winds down at the next poll point and reports ``timed_out``.
+
+Budgets deliberately live *outside* :class:`repro.core.config.StaggConfig`:
+the config describes the method (and is part of the result-store digest),
+while the budget describes one invocation.  Two jobs running the same method
+under different deadlines share a digest; the tighter deadline simply stops
+earlier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised at a cooperative cancellation point once the budget is spent."""
+
+
+class Budget:
+    """A wall-clock deadline plus a cancellation token.
+
+    ``timeout_seconds=None`` means "no deadline" — the budget then only
+    expires when :meth:`cancel` is called.  The object is thread-safe: any
+    thread may cancel while the lifting thread polls.
+    """
+
+    __slots__ = ("_started", "_timeout", "_cancelled")
+
+    def __init__(self, timeout_seconds: Optional[float] = None) -> None:
+        if timeout_seconds is not None and timeout_seconds < 0:
+            raise ValueError(f"timeout_seconds must be >= 0, got {timeout_seconds}")
+        self._started = time.monotonic()
+        self._timeout = timeout_seconds
+        self._cancelled = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def timeout_seconds(self) -> Optional[float]:
+        return self._timeout
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled.is_set()
+
+    def cancel(self) -> None:
+        """Expire the budget immediately (idempotent, thread-safe)."""
+        self._cancelled.set()
+
+    def elapsed(self) -> float:
+        """Seconds since the budget started."""
+        return time.monotonic() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (never negative), or None for an unbounded budget."""
+        if self._cancelled.is_set():
+            return 0.0
+        if self._timeout is None:
+            return None
+        return max(0.0, self._timeout - self.elapsed())
+
+    def expired(self) -> bool:
+        """True when cancelled or past the deadline (the poll primitive)."""
+        if self._cancelled.is_set():
+            return True
+        return self._timeout is not None and self.elapsed() >= self._timeout
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` when expired (for stage boundaries)."""
+        if self.expired():
+            raise BudgetExceeded(
+                "lift budget exhausted"
+                + (f" after {self._timeout:.1f}s" if self._timeout is not None else "")
+                + (" (cancelled)" if self._cancelled.is_set() else "")
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = "unbounded" if self._timeout is None else f"{self._timeout:.1f}s"
+        return f"Budget({rendered}, elapsed={self.elapsed():.1f}s)"

@@ -1,0 +1,102 @@
+"""Observation hooks for lifting runs.
+
+A :class:`LiftObserver` receives coarse-grained progress events from the
+pipeline (stage start/finish), the searches (periodic expansion counts) and
+the checker (successful validations).  Observers power ``repro lift -v`` and
+the service's live ``GET /status`` stage field without the pipeline knowing
+who is watching.
+
+Observer contract
+-----------------
+
+* Callbacks run on the lifting thread and must be cheap — they sit on the
+  search hot path (albeit only every :data:`SEARCH_PROGRESS_INTERVAL`
+  expansions).
+* Observer exceptions never abort a lift: every notification goes through
+  :func:`safe_notify` (canonical implementation in
+  :mod:`repro.core.search`), which swallows them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.search import SEARCH_PROGRESS_INTERVAL, safe_notify
+
+__all__ = [
+    "LiftObserver",
+    "PrintObserver",
+    "RecordingObserver",
+    "SEARCH_PROGRESS_INTERVAL",
+    "safe_notify",
+]
+
+
+class LiftObserver:
+    """Base observer: every callback is a no-op; override what you need."""
+
+    def stage_started(self, stage: str, task_name: str) -> None:
+        """A pipeline stage began executing."""
+
+    def stage_finished(self, stage: str, task_name: str, seconds: float) -> None:
+        """A pipeline stage completed (with its wall-clock duration)."""
+
+    def stage_skipped(self, stage: str, task_name: str) -> None:
+        """A stage was skipped because its artifacts were already populated."""
+
+    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+        """Periodic heartbeat from inside a running search."""
+
+    def candidate_accepted(self, program: str) -> None:
+        """A candidate passed validation and bounded verification."""
+
+
+class PrintObserver(LiftObserver):
+    """Human-readable progress lines (what ``repro lift -v`` attaches)."""
+
+    def __init__(self, emit: Optional[Callable[[str], None]] = None) -> None:
+        self._emit = emit if emit is not None else print
+
+    def stage_started(self, stage: str, task_name: str) -> None:
+        self._emit(f"[{task_name}] stage {stage} ...")
+
+    def stage_finished(self, stage: str, task_name: str, seconds: float) -> None:
+        self._emit(f"[{task_name}] stage {stage} done in {seconds:.3f}s")
+
+    def stage_skipped(self, stage: str, task_name: str) -> None:
+        self._emit(f"[{task_name}] stage {stage} skipped (resumed from state)")
+
+    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+        self._emit(
+            f"  search: {nodes_expanded} nodes expanded, "
+            f"{candidates_tried} candidates tried"
+        )
+
+    def candidate_accepted(self, program: str) -> None:
+        self._emit(f"  accepted: {program}")
+
+
+class RecordingObserver(LiftObserver):
+    """Collects every event as a tuple (used by tests and diagnostics)."""
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+
+    def stage_started(self, stage: str, task_name: str) -> None:
+        self.events.append(("stage_started", stage, task_name))
+
+    def stage_finished(self, stage: str, task_name: str, seconds: float) -> None:
+        self.events.append(("stage_finished", stage, task_name, seconds))
+
+    def stage_skipped(self, stage: str, task_name: str) -> None:
+        self.events.append(("stage_skipped", stage, task_name))
+
+    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+        self.events.append(("search_progress", nodes_expanded, candidates_tried))
+
+    def candidate_accepted(self, program: str) -> None:
+        self.events.append(("candidate_accepted", program))
+
+    def stages(self, kind: str = "stage_finished") -> List[str]:
+        """The stage names seen for one event kind, in order."""
+        return [event[1] for event in self.events if event[0] == kind]

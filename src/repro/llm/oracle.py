@@ -82,8 +82,16 @@ class LLMOracle(abc.ABC):
     def generate_raw(self, query: LiftingQuery) -> str:
         """Produce the raw (unparsed) response text for *query*."""
 
-    def propose(self, query: LiftingQuery) -> OracleResponse:
-        """Run the query and parse the response into TACO candidates."""
+    def propose(self, query: LiftingQuery, budget=None) -> OracleResponse:
+        """Run the query and parse the response into TACO candidates.
+
+        ``budget`` is an optional cooperative :class:`repro.lifting.Budget`
+        (duck-typed): an already-expired budget aborts *before* the —
+        potentially expensive, for a hosted model — query is issued, via
+        the budget's own ``check()`` (raising ``BudgetExceeded``).
+        """
+        if budget is not None:
+            budget.check()
         raw = self.generate_raw(query)
         return OracleResponse(query=query, raw_text=raw, parsed=parse_response(raw))
 

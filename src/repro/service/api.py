@@ -24,12 +24,12 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
 from ..core.result import SynthesisReport
 from ..core.task import InputSpec, LiftingTask
+from ..lifting import Budget, LiftObserver, Lifter, method_name_for, resolve_method
 from ..llm import OracleConfig, StaticOracle, SyntheticOracle
 from ..suite import get_benchmark
-from .digest import describe_lifter, lift_digest
+from .digest import lift_digest
 from .scheduler import Job, JobScheduler
 from .store import ResultStore
 
@@ -62,6 +62,11 @@ class LiftRequest:
     #: Input specification for raw kernels, as the ``repro lift --spec``
     #: JSON shape: {"sizes": {...}, "arrays": {...}, "scalars": {...}}.
     spec: Optional[Mapping[str, object]] = None
+    #: Registry name of the lifting method (``repro.lifting.method_names()``:
+    #: STAGG variants, ablations and baselines alike).  When omitted, the
+    #: legacy ``search``/``grammar``/``probabilities`` triple picks the
+    #: corresponding STAGG configuration.
+    method: Optional[str] = None
     search: str = "topdown"
     grammar: str = "refined"
     probabilities: str = "learned"
@@ -157,8 +162,24 @@ def resolve_task(request: LiftRequest) -> LiftingTask:
     )
 
 
-def build_lifter(request: LiftRequest) -> StaggSynthesizer:
-    """The synthesizer a request implies (oracle + config)."""
+def method_name(request: LiftRequest) -> str:
+    """The registry name a request selects (explicit or via the legacy triple)."""
+    if request.method is not None:
+        return request.method
+    try:
+        return method_name_for(request.search, request.grammar, request.probabilities)
+    except ValueError as error:
+        raise ServiceError(str(error)) from None
+
+
+def build_lifter(request: LiftRequest) -> Lifter:
+    """The lifter a request implies, resolved through the method registry.
+
+    This is the same construction path ``repro lift --method`` and the
+    evaluation runner use, so a request's store digest matches the digests
+    those layers compute for the same method name and parameters — which is
+    what lets one service cache serve all three.
+    """
     if request.candidates:
         oracle = StaticOracle(list(request.candidates))
     else:
@@ -166,28 +187,37 @@ def build_lifter(request: LiftRequest) -> StaggSynthesizer:
     timeout = (
         request.timeout if request.timeout is not None else DEFAULT_TIMEOUT_SECONDS
     )
-    config = StaggConfig(
-        search=request.search,
-        grammar_mode=request.grammar,
-        probability_mode=request.probabilities,
-        limits=SearchLimits(timeout_seconds=timeout),
-        verifier=VerifierConfig(),
-        seed=request.seed,
-        label=f"STAGG_{'TD' if request.search == 'topdown' else 'BU'}",
-    )
-    return StaggSynthesizer(oracle, config)
+    try:
+        return resolve_method(
+            method_name(request),
+            oracle=oracle,
+            timeout_seconds=timeout,
+            seed=request.seed,
+        )
+    except KeyError as error:
+        raise ServiceError(str(error.args[0])) from None
 
 
-def execute_request(request: LiftRequest) -> SynthesisReport:
-    """Run one request to completion (module-level: process-pool friendly)."""
+def execute_request(
+    request: LiftRequest,
+    budget: Optional[Budget] = None,
+    observer: Optional[LiftObserver] = None,
+) -> SynthesisReport:
+    """Run one request to completion (module-level: process-pool friendly).
+
+    In thread mode the scheduler passes the job's :class:`Budget` (and a
+    stage observer), so a per-job deadline stops the synthesis cooperatively;
+    in process mode the request's timeout is already baked into the method's
+    search limits by :func:`build_lifter`.
+    """
     task = resolve_task(request)  # re-raises ServiceError for bad requests
-    return build_lifter(request).lift(task)
+    return build_lifter(request).lift(task, budget=budget, observer=observer)
 
 
 def request_digest(request: LiftRequest) -> str:
     """The store digest of a request: task identity x lifter identity."""
     task = resolve_task(request)
-    return lift_digest(task, describe_lifter(build_lifter(request)))
+    return lift_digest(task, build_lifter(request).descriptor())
 
 
 class LiftingService:

@@ -22,9 +22,13 @@ import hashlib
 import json
 from typing import Dict, Mapping, Optional
 
-from ..core.config import StaggConfig
 from ..core.jsonutil import jsonable
 from ..core.task import LiftingTask
+
+# Method identity lives with the unified lifting API (every lifter's
+# ``descriptor()`` delegates there); re-exported here because the store and
+# its tests historically import them from this module.
+from ..lifting.descriptor import describe_lifter, describe_oracle  # noqa: F401
 
 #: Bump when the entry layout or the digest inputs change incompatibly;
 #: stored under a versioned directory so old caches are ignored, not misread.
@@ -34,46 +38,6 @@ STORE_SCHEMA_VERSION = 1
 def canonical_json(value: object) -> str:
     """The canonical (sorted-key, compact) JSON encoding used for hashing."""
     return json.dumps(jsonable(value), sort_keys=True, separators=(",", ":"))
-
-
-def describe_oracle(oracle: object) -> Dict[str, object]:
-    """Identity of an oracle: class plus every configuration attribute.
-
-    Works for all shipped oracles (synthetic, static, recorded) and degrades
-    gracefully for user-defined ones: the instance ``__dict__`` — which for
-    the shipped oracles holds the :class:`OracleConfig`, static candidate
-    lists and recorded-response paths — is rendered via :func:`jsonable`.
-    """
-    return {
-        "class": type(oracle).__qualname__,
-        "state": jsonable(
-            {k: v for k, v in sorted(vars(oracle).items()) if not k.startswith("__")}
-        ),
-    }
-
-
-def describe_lifter(lifter: object) -> Dict[str, object]:
-    """Identity of any ``lift(task) -> SynthesisReport`` method object.
-
-    For :class:`StaggSynthesizer` this is the oracle identity plus
-    ``StaggConfig.digest_dict()``; for baselines it is the class name plus
-    the instance state (verifier config, budgets, heuristics flags), which
-    covers every outcome-relevant knob the shipped lifters have.
-    """
-    config = getattr(lifter, "config", None)
-    oracle = getattr(lifter, "_oracle", None) or getattr(lifter, "oracle", None)
-    descriptor: Dict[str, object] = {"class": type(lifter).__qualname__}
-    state = dict(vars(lifter))
-    if isinstance(config, StaggConfig):
-        descriptor["config"] = config.digest_dict()
-        state.pop("_config", None)
-        state.pop("config", None)
-    if oracle is not None:
-        descriptor["oracle"] = describe_oracle(oracle)
-        state.pop("_oracle", None)
-        state.pop("oracle", None)
-    descriptor["state"] = jsonable(dict(sorted(state.items())))
-    return descriptor
 
 
 def describe_task(task: LiftingTask) -> Dict[str, object]:

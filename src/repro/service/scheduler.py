@@ -10,12 +10,17 @@ the synthesizer:
   completes immediately without touching the queue at all.
 * **Prioritisation** — jobs carry an integer priority (lower runs first);
   ties are broken by submission order, so equal-priority traffic is FIFO.
-* **Timeouts** — each job carries a wall-clock budget.  In thread mode the
-  budget is enforced cooperatively by the synthesis pipeline's
-  :class:`SearchLimits` (every shipped lifter respects it); in process
-  mode the scheduler additionally bounds the wait on the worker future and
-  marks the job timed out if the process overruns its budget plus a grace
-  period.
+* **Timeouts & cancellation** — each job carries a wall-clock budget.  In
+  thread mode (with a budget-aware executor such as
+  :func:`repro.service.api.execute_request`) the budget becomes a
+  cooperative :class:`repro.lifting.Budget` threaded through the whole
+  pipeline — oracle, search and validator all poll it — so a deadline
+  stops the synthesis instead of abandoning the worker thread, running
+  jobs can be cancelled, and the job's ``stage`` field tracks live
+  pipeline progress for ``GET /status``.  In process mode the scheduler
+  bounds the wait on the worker future (the method's own search limits
+  carry the timeout inside the process) and marks the job timed out if
+  the process overruns its budget plus a grace period.
 
 Workers come in two flavours, selected by ``use_processes``: thread
 workers call the executor in-process (cheap, shares the synthesizer's
@@ -27,6 +32,7 @@ PR-1 evaluation runner fans corpus sweeps out over — for CPU isolation.
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 import threading
 import time
@@ -38,6 +44,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.result import SynthesisReport
+from ..lifting import Budget, LiftObserver
 from .store import ResultStore
 
 #: Extra wall-clock slack granted on top of a job's budget in process mode
@@ -86,9 +93,16 @@ class Job:
     cached: bool = False
     #: How many submissions were coalesced onto this job (1 = no dedup).
     submissions: int = 1
+    #: Live pipeline progress ("oracle", "search:2048", ...) in thread mode.
+    stage: str = ""
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: The cooperative budget bounding this job's run (thread mode only).
+    budget: Optional[Budget] = field(default=None, repr=False)
+    #: Set (under the scheduler lock) once the finished report is committed:
+    #: from then on `cancel()` refuses rather than racing the store write.
+    _committed: bool = field(default=False, repr=False)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -108,11 +122,45 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.stage:
+            status["stage"] = self.stage
         if self.error:
             status["error"] = self.error
         if self.state is JobState.SUCCEEDED and self.report is not None:
             status["success"] = self.report.success
         return status
+
+
+class _JobObserver(LiftObserver):
+    """Mirror pipeline progress onto the job so ``GET /status`` shows it live."""
+
+    def __init__(self, job: "Job") -> None:
+        self._job = job
+
+    def stage_started(self, stage: str, task_name: str) -> None:
+        self._job.stage = stage
+
+    def stage_skipped(self, stage: str, task_name: str) -> None:
+        self._job.stage = f"{stage} (cached)"
+
+    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+        self._job.stage = f"search:{nodes_expanded}"
+
+
+def _accepts_budget(executor: Callable) -> bool:
+    """True when *executor* takes ``budget``/``observer`` keyword arguments.
+
+    The scheduler only threads cooperative budgets into executors that opt
+    in via their signature (like :func:`repro.service.api.execute_request`);
+    plain single-argument executors keep the legacy calling convention.
+    """
+    try:
+        parameters = inspect.signature(executor).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins, C callables
+        return False
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return True
+    return "budget" in parameters and "observer" in parameters
 
 
 class JobScheduler:
@@ -130,6 +178,7 @@ class JobScheduler:
         if workers < 1:
             raise ValueError(f"scheduler needs at least one worker, got {workers}")
         self._executor = executor
+        self._cooperative = not use_processes and _accepts_budget(executor)
         self._store = store
         self._provenance = provenance
         self._queue: List[Tuple[int, int, Job]] = []
@@ -229,10 +278,27 @@ class JobScheduler:
             return self._jobs.get(job_id)
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a queued job (running jobs are not preempted)."""
+        """Cancel a job.
+
+        Queued jobs are removed immediately.  A *running* job can be
+        cancelled when the scheduler runs in cooperative (thread) mode: its
+        budget's cancellation token is flipped and the synthesis pipeline
+        winds down at its next poll point, after which the job finishes as
+        CANCELLED (its truncated report is never written to the store).
+        Running process-mode jobs are not preempted.
+        """
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None or job.state is not JobState.QUEUED:
+            if job is None:
+                return False
+            if job.state is JobState.RUNNING:
+                # A committed job's report is (being) stored; refuse rather
+                # than report a cancellation that can no longer take effect.
+                if job.budget is None or job._committed:
+                    return False
+                job.budget.cancel()
+                return True
+            if job.state is not JobState.QUEUED:
                 return False
             # Flip the state under the lock so a worker popping the heap
             # concurrently sees CANCELLED and skips the job.
@@ -282,6 +348,11 @@ class JobScheduler:
                     continue
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                if self._cooperative:
+                    # Created under the same lock acquisition that flips the
+                    # state to RUNNING, so cancel() never observes a running
+                    # cooperative job without a budget to cancel.
+                    job.budget = Budget(timeout_seconds=job.timeout)
             self._run_job(job)
 
     def _replace_pool(self) -> None:
@@ -323,6 +394,16 @@ class JobScheduler:
         try:
             if self._pool is not None:
                 report = self._run_in_pool(job)
+            elif self._cooperative:
+                # Thread mode with a budget-aware executor: the job's
+                # deadline becomes a cooperative budget (created by the
+                # worker loop, under the lock) threaded through the whole
+                # pipeline (oracle, search, validator), so a timeout stops
+                # the synthesis instead of abandoning the thread, and
+                # `cancel()` can stop a running job.
+                report = self._executor(
+                    job.payload, budget=job.budget, observer=_JobObserver(job)
+                )
             else:
                 report = self._executor(job.payload)
         except _JobOverrun as overrun:
@@ -334,6 +415,24 @@ class JobScheduler:
             self._finish(job, JobState.FAILED)
             return
         job.report = report
+        # Commit point: decided under the lock so it serializes with
+        # cancel() — either the cancellation landed first (the run was
+        # truncated; finish CANCELLED, never store) or the job is committed
+        # and cancel() refuses from now on.
+        with self._lock:
+            cancelled = job.budget is not None and job.budget.cancelled
+            job._committed = not cancelled
+        if cancelled:
+            # An explicitly cancelled run stops at an arbitrary point, so its
+            # truncated report is not the deterministic answer for this
+            # digest — surface it on the job but never store it.
+            self._finish(job, JobState.CANCELLED)
+            return
+        # Deadline-timed-out reports ARE stored: the job's budget equals the
+        # request timeout, which LiftingService bakes into the digest before
+        # scheduling, so a budget-driven timeout is the deterministic answer
+        # for this digest — exactly as config-timeout reports were before
+        # cooperative budgets existed (warm replays must reproduce them).
         if self._store is not None:
             try:
                 provenance = (
@@ -347,6 +446,9 @@ class JobScheduler:
     def _finish(self, job: Job, state: JobState) -> None:
         with self._lock:
             job.state = state
+            # The stage field reports *live* progress; a terminal state is
+            # the authority once the job is done.
+            job.stage = ""
             job.finished_at = time.time()
             self._active.pop(job.digest, None)
             self._finished_counts[state] += 1

@@ -257,13 +257,29 @@ class CachedLifter:
     def digest_for(self, task: LiftingTask) -> str:
         return lift_digest(task, self.descriptor())
 
-    def lift(self, task: LiftingTask) -> SynthesisReport:
+    def lift(self, task: LiftingTask, *, budget=None, observer=None) -> SynthesisReport:
         digest = self.digest_for(task)
         entry = self.store.get(digest)
         if entry is not None and (entry.report.success or not self._successes_only):
             return entry.report
-        report = self._lifter.lift(task)
-        if report.success or not self._successes_only:
+        # Forward the hooks only when set, so wrapping a minimal legacy
+        # lifter (plain ``lift(task)``) keeps working.
+        kwargs = {}
+        if budget is not None:
+            kwargs["budget"] = budget
+        if observer is not None:
+            kwargs["observer"] = observer
+        report = self._lifter.lift(task, **kwargs)
+        # Budgets are per-invocation and deliberately excluded from the
+        # digest, so an unsuccessful report cut short by budget expiry
+        # (deadline or cancellation) is not the answer for this digest — a
+        # budget-free caller must not be served it.  A *successful* report
+        # is complete (validation and verification ran) and is the digest's
+        # answer no matter how much budget was left, so it is always stored.
+        truncated = (
+            budget is not None and budget.expired() and not report.success
+        )
+        if (report.success or not self._successes_only) and not truncated:
             self.store.put(digest, report, provenance={"lifter": self.descriptor()})
         return report
 

@@ -1,0 +1,187 @@
+"""Tests for cooperative budgets (`repro.lifting.budget`).
+
+The budget is the mechanism that lets per-invocation deadlines and
+cancellation stop a lift *without* the method's own config timeout being
+involved: every test here runs methods whose configured search limits are
+effectively unlimited and asserts the budget alone stops them promptly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import SearchLimits, StaggSynthesizer
+from repro.lifting import (
+    Budget,
+    BudgetExceeded,
+    PipelineState,
+    RecordingObserver,
+    resolve_method,
+)
+from repro.llm import LiftingQuery, OracleConfig, StaticOracle, SyntheticOracle
+from repro.suite import get_benchmark
+
+#: Effectively unlimited search limits: only a budget can stop such a run.
+HARD_LIMITS = SearchLimits(
+    max_expansions=50_000_000, max_candidates=5_000_000, timeout_seconds=None
+)
+
+
+def _task(name: str = "dsp.mat_mult"):
+    return get_benchmark(name).task()
+
+
+def _hard_lifter() -> StaggSynthesizer:
+    """A lift that runs unbounded without a budget.
+
+    The unrefined (FullGrammar) space over rank-2 candidates is enormous and
+    the static oracle's misleading candidates admit no quick solution, so
+    under :data:`HARD_LIMITS` (no config timeout) only the invocation budget
+    stops the search.
+    """
+    oracle = StaticOracle(
+        [
+            "a(i,j) = b(i,k) * c(k,j) + d(i,j)",
+            "a(i,j) = b(i,j) + c(i,j) + d(i,j)",
+        ]
+    )
+    return resolve_method(
+        "STAGG_TD.FullGrammar", oracle=oracle, timeout_seconds=None, limits=HARD_LIMITS
+    )
+
+
+class TestBudgetObject:
+    def test_unbounded_budget_never_expires(self):
+        budget = Budget()
+        assert not budget.expired()
+        assert budget.remaining() is None
+
+    def test_deadline_expiry(self):
+        budget = Budget(timeout_seconds=0.0)
+        assert budget.expired()
+        assert budget.remaining() == 0.0
+
+    def test_cancellation(self):
+        budget = Budget(timeout_seconds=100.0)
+        assert not budget.expired()
+        budget.cancel()
+        assert budget.cancelled
+        assert budget.expired()
+        assert budget.remaining() == 0.0
+
+    def test_check_raises_when_expired(self):
+        budget = Budget(timeout_seconds=0.0)
+        with pytest.raises(BudgetExceeded):
+            budget.check()
+        Budget(timeout_seconds=100.0).check()  # no raise
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(timeout_seconds=-1.0)
+
+
+class TestBudgetStopsStagg:
+    def test_deadline_stops_search_with_unlimited_config(self):
+        # The method's own limits are effectively unlimited; only the budget
+        # can stop this run.
+        started = time.monotonic()
+        report = _hard_lifter().lift(_task(), budget=Budget(timeout_seconds=0.4))
+        elapsed = time.monotonic() - started
+        assert report.timed_out
+        assert not report.success
+        assert elapsed < 5.0  # stopped near the deadline, not after minutes
+
+    def test_already_expired_budget_stops_before_the_oracle(self):
+        observer = RecordingObserver()
+        lifter = resolve_method("STAGG_TD", timeout_seconds=None, limits=HARD_LIMITS)
+        report = lifter.lift(
+            _task(), budget=Budget(timeout_seconds=0.0), observer=observer
+        )
+        assert report.timed_out
+        assert not report.error
+        assert observer.stages("stage_finished") == []
+
+    def test_cancel_from_another_thread(self):
+        budget = Budget()
+        timer = threading.Timer(0.3, budget.cancel)
+        timer.start()
+        started = time.monotonic()
+        report = _hard_lifter().lift(_task(), budget=budget)
+        elapsed = time.monotonic() - started
+        timer.cancel()
+        assert report.timed_out
+        assert elapsed < 5.0
+
+    def test_generous_budget_does_not_change_the_outcome(self):
+        oracle = SyntheticOracle(OracleConfig(seed=2025))
+        task = get_benchmark("mathfu.dot").task()
+        with_budget = resolve_method(
+            "STAGG_TD", oracle=oracle, timeout_seconds=30.0
+        ).lift(task, budget=Budget(timeout_seconds=300.0))
+        without = resolve_method("STAGG_TD", oracle=oracle, timeout_seconds=30.0).lift(
+            task
+        )
+        assert with_budget.success == without.success
+        assert str(with_budget.lifted_program) == str(without.lifted_program)
+        assert with_budget.attempts == without.attempts
+
+
+class TestBudgetStopsBaselines:
+    @pytest.mark.parametrize("name", ["C2TACO", "C2TACO.NoHeuristics", "Tenspiler"])
+    def test_deadline_stops_enumeration(self, name):
+        lifter = resolve_method(name, timeout_seconds=None)
+        started = time.monotonic()
+        report = lifter.lift(_task(), budget=Budget(timeout_seconds=0.2))
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0
+        assert report.timed_out or report.success
+
+    def test_expired_budget_stops_llm_before_the_oracle(self):
+        lifter = resolve_method("LLM", timeout_seconds=None)
+        report = lifter.lift(_task(), budget=Budget(timeout_seconds=0.0))
+        assert report.timed_out
+        assert report.oracle_valid_candidates == 0
+
+
+class TestOracleBudget:
+    def test_propose_checks_the_budget(self):
+        oracle = StaticOracle(["a(i) = b(i)"])
+        query = LiftingQuery(c_source="", name="t")
+        budget = Budget(timeout_seconds=0.0)
+        with pytest.raises(BudgetExceeded):
+            oracle.propose(query, budget=budget)
+        assert oracle.propose(query).candidates  # no budget: normal path
+
+
+class TestValidatorBudget:
+    def test_validator_bails_out_mid_enumeration(self):
+        from repro.lifting.checking import build_harness
+        from repro.taco import parse_program
+
+        # blend.weighted_sum has three rank-1 inputs, so this five-symbol
+        # template sweeps 3^5 = 243 substitutions when unbudgeted.
+        harness = build_harness(_task("blend.weighted_sum"))
+        template = parse_program("a(i) = ((b(i) * c(i)) + (d(i) - e(i))) * f(i)")
+        unbudgeted = harness.validator.validate(template)
+        assert not unbudgeted.success
+        assert unbudgeted.substitutions_tried > 64
+        expired = Budget(timeout_seconds=0.0)
+        result = harness.validator.validate(template, budget=expired)
+        assert not result.success
+        # The bail-out happens at the first poll interval, long before the
+        # substitution space is exhausted.
+        assert result.substitutions_tried <= 64
+
+
+class TestBudgetVsState:
+    def test_budget_timeout_leaves_state_resumable(self):
+        state = PipelineState(task=_task())
+        report = _hard_lifter().lift_from_state(state, budget=Budget(timeout_seconds=0.5))
+        assert report.timed_out
+        # The oracle-derived artifacts survived the truncated run and can
+        # seed a fresh (budgeted or not) re-search.
+        assert state.oracle_response is not None
+        assert state.templates is not None
