@@ -10,15 +10,30 @@ from __future__ import annotations
 
 import json
 
-from repro.evaluation.perf import PERF_KERNELS, run_perf_suite, write_perf_record
+from repro.evaluation.perf import (
+    PERF_KERNELS,
+    PORTFOLIO_KERNELS,
+    PORTFOLIO_MEMBERS,
+    run_perf_suite,
+    write_perf_record,
+)
 
 #: Two kernels are enough for the smoke: one elementwise, one reduction.
 SMOKE_KERNELS = ("blend.add_pixels", "darknet.forward_connected")
 
+#: Reduced portfolio set: one kernel per "only this member wins" side, so
+#: the smoke still exercises a real race without the full set's timeouts.
+SMOKE_PORTFOLIO_KERNELS = ("llama.rmsnorm_scale", "blend.weighted_sum")
+
 
 def test_perf_record_shape_and_speedup(tmp_path):
     path = tmp_path / "BENCH_smoke.json"
-    record = write_perf_record(path, scope="quick", kernels=SMOKE_KERNELS)
+    record = write_perf_record(
+        path,
+        scope="quick",
+        kernels=SMOKE_KERNELS,
+        portfolio_kernels=SMOKE_PORTFOLIO_KERNELS,
+    )
 
     on_disk = json.loads(path.read_text())
     assert on_disk == record
@@ -42,6 +57,17 @@ def test_perf_record_shape_and_speedup(tmp_path):
     # The top-down grammar is ambiguous, so the visited-form set must fire.
     assert search["topdown"]["duplicates_pruned"] > 0
 
+    portfolio = record["portfolio"]
+    assert portfolio["kernels"] == list(SMOKE_PORTFOLIO_KERNELS)
+    assert set(portfolio["members"]) == set(PORTFOLIO_MEMBERS)
+    assert portfolio["fastest_member"] in portfolio["members"]
+    assert portfolio["wallclock_ratio"] > 0
+    # The portfolio's whole point: it solves at least as much as its best
+    # member.  (No exact-count assertion — each run races live 5s budgets,
+    # and a loaded CI runner may time a member out without any regression.)
+    best_solved = max(m["solved"] for m in portfolio["members"].values())
+    assert portfolio["portfolio"]["solved"] >= best_solved
+
 
 def test_default_kernel_set_is_fixed():
     # The trajectory only makes sense if the fixed kernel set stays fixed;
@@ -53,6 +79,14 @@ def test_default_kernel_set_is_fixed():
         "darknet.forward_connected",
         "darknet.gemm_nn",
         "blend.weighted_sum",
+    )
+    assert PORTFOLIO_KERNELS == (
+        "darknet.axpy_cpu",
+        "llama.rmsnorm_scale",
+        "blend.weighted_sum",
+        "simpl_array.sum_three",
+        "dsp.scaled_residual",
+        "darknet.copy_cpu",
     )
 
 

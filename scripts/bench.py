@@ -45,6 +45,12 @@ def main(argv=None) -> int:
         "existing BENCH_<tag>.json is refused — a reused tag would "
         "silently destroy a prior PR's baseline)",
     )
+    parser.add_argument(
+        "--no-portfolio", action="store_true",
+        help="skip the portfolio race measurement (the costliest section; "
+        "for runs that only gate on validator/search numbers — committed "
+        "BENCH_<tag>.json baselines should keep the full record)",
+    )
     args = parser.parse_args(argv)
     output = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{args.tag}.json"
     if output.exists() and not args.force:
@@ -55,7 +61,9 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    record = write_perf_record(output, scope=args.scope)
+    record = write_perf_record(
+        output, scope=args.scope, include_portfolio=not args.no_portfolio
+    )
     validator = record["validator"]
     search = record["search"]
     print(f"validator  tiered+cached : {validator['tiered_cached']['candidates_per_sec']:>10.1f} candidates/sec")
@@ -63,6 +71,14 @@ def main(argv=None) -> int:
     print(f"validator  speedup       : {validator['speedup']:>10.2f}x")
     print(f"search     topdown       : {search['topdown']['nodes_per_sec']:>10.1f} nodes/sec")
     print(f"search     bottomup      : {search['bottomup']['nodes_per_sec']:>10.1f} nodes/sec")
+    portfolio = record.get("portfolio")
+    if portfolio:
+        print(f"portfolio  {portfolio['spec']}:")
+        for member, result in portfolio["members"].items():
+            print(f"  member   {member:22s}: {result['seconds']:>8.2f}s ({result['solved']} solved)")
+        print(f"  racing   portfolio         : {portfolio['portfolio']['seconds']:>8.2f}s ({portfolio['portfolio']['solved']} solved)")
+        gate = portfolio.get("gate_ratio", 1.25)
+        print(f"  vs best  ({portfolio['fastest_member']}): {portfolio['wallclock_ratio']:.2f}x wall-clock (gate: <= {gate}x)")
     print(f"record written to {output}")
     return 0
 

@@ -124,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     lift.add_argument(
         "--method", default=None,
         help="registered lifting method to run (see `repro methods`): any "
-        "STAGG configuration, ablation or baseline by name; overrides "
+        "STAGG configuration, ablation or baseline by name, or a portfolio "
+        "racing several — 'Portfolio(STAGG_TD,STAGG_BU)'; overrides "
         "--search/--grammar/--probabilities",
     )
     lift.add_argument(
@@ -270,8 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--method", default=None,
-        help="registered lifting method name (incl. baselines); overrides "
-        "--search",
+        help="registered lifting method name (incl. baselines and "
+        "'Portfolio(...)' specs); overrides --search",
     )
     submit.add_argument(
         "--search", choices=("topdown", "bottomup"), default="topdown"
@@ -444,8 +445,12 @@ def _cmd_methods(args: argparse.Namespace) -> int:
     names = method_names()
     for name in names:
         spec = method_spec(name)
-        print(f"{name:30s} [{spec.kind:8s}] {spec.description}")
+        print(f"{name:30s} [{spec.kind:9s}] {spec.description}")
     print(f"({len(names)} registered methods)")
+    print(
+        "ad-hoc portfolios: --method 'Portfolio(<member>,<member>,...)' races "
+        "any registered methods (first verified win)"
+    )
     return 0
 
 

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 import time
+import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
@@ -25,6 +28,15 @@ CandidateChecker = Callable[
 SEARCH_PROGRESS_INTERVAL = 512
 
 
+#: Observers that already triggered an exception warning.  A WeakSet so a
+#: long-lived process doesn't pin every broken observer it ever saw; an
+#: observer is warned about at most once, however many events it breaks on.
+#: The lock serialises check-then-add: portfolio members share one observer
+#: across racing threads.
+_WARNED_OBSERVERS = weakref.WeakSet()
+_WARNED_OBSERVERS_LOCK = threading.Lock()
+
+
 def safe_notify(observer, method: str, *args) -> None:
     """Invoke ``observer.method(*args)``, swallowing observer errors.
 
@@ -32,13 +44,35 @@ def safe_notify(observer, method: str, *args) -> None:
     contract (re-exported by :mod:`repro.lifting.observer`).  Duck-typed so
     the core package never imports :mod:`repro.lifting` at module scope;
     ``observer=None`` is the common fast path and returns immediately.
+
+    Swallowed exceptions are not fully silent: the first failure of each
+    observer emits a :class:`RuntimeWarning`, so a broken observer is
+    diagnosable without ever being able to abort a lift.
     """
     if observer is None:
         return
     try:
         getattr(observer, method)(*args)
-    except Exception:  # noqa: BLE001 - observers are untrusted plugins
-        pass
+    except Exception as error:  # noqa: BLE001 - observers are untrusted plugins
+        try:
+            with _WARNED_OBSERVERS_LOCK:
+                already_warned = observer in _WARNED_OBSERVERS
+                if not already_warned:
+                    _WARNED_OBSERVERS.add(observer)
+        except TypeError:  # not weak-referenceable: warn on every failure
+            already_warned = False
+        if not already_warned:
+            try:
+                warnings.warn(
+                    f"lift observer {type(observer).__name__}.{method} raised "
+                    f"{type(error).__name__}: {error} (observer exceptions never "
+                    f"abort a lift; further errors from this observer are "
+                    f"suppressed silently)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            except Exception:  # noqa: BLE001 - warnings-as-errors must not
+                pass  # break the "observers never abort a lift" contract
 
 
 def notify_search_progress(observer, nodes_expanded: int, candidates_tried: int) -> None:

@@ -109,6 +109,36 @@ class StaggSynthesizer:
         state.reset_derived()
         return self._run(state, budget, observer)
 
+    def prepare_state(
+        self,
+        task: LiftingTask,
+        *,
+        budget=None,
+        observer=None,
+        report: Optional[SynthesisReport] = None,
+    ) -> "object":
+        """Run only the oracle-derived stages and return the populated state.
+
+        This is the state-sharing hook the portfolio engine builds on: one
+        oracle query produces a :class:`~repro.lifting.pipeline.PipelineState`
+        whose oracle-derived artifacts (response, templates, dimension list)
+        any number of configurations can then re-search concurrently via
+        ``state.fork()`` + :meth:`lift_from_state`.  ``report`` (optional)
+        collects the preparation's ``stage_timings``; exceptions — including
+        :class:`~repro.lifting.budget.BudgetExceeded` — propagate to the
+        caller, which owns the fallback policy.
+        """
+        from ..lifting.pipeline import ORACLE_STAGES, PipelineState, StaggPipeline
+
+        state = PipelineState(task=task)
+        if report is None:
+            report = SynthesisReport(
+                task_name=task.name, method=self._config.label, success=False
+            )
+        pipeline = StaggPipeline(self._oracle, self._config, stages=ORACLE_STAGES)
+        pipeline.run(state, report, budget=budget, observer=observer)
+        return state
+
     def descriptor(self) -> Dict[str, object]:
         """JSON-safe method identity for the service's store digest."""
         from ..lifting.descriptor import describe_lifter

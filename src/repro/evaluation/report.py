@@ -17,6 +17,7 @@ def records_as_rows(result: EvaluationResult) -> List[Dict[str, object]]:
     """Flatten run records into CSV/JSON-friendly rows."""
     rows: List[Dict[str, object]] = []
     for record in result.records:
+        portfolio = record.report.details.get("portfolio", {})
         rows.append(
             {
                 "method": record.method,
@@ -28,6 +29,9 @@ def records_as_rows(result: EvaluationResult) -> List[Dict[str, object]]:
                 "timed_out": record.report.timed_out,
                 "error": record.report.error,
                 "lifted": record.report.lifted_source,
+                # Portfolio attribution: which member's program the row
+                # carries (empty for non-portfolio methods).
+                "winner": portfolio.get("winner") or "",
             }
         )
     return rows

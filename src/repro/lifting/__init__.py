@@ -52,6 +52,7 @@ from .pipeline import (
 from .registry import (
     BASELINE_CANDIDATE_BUDGET,
     GRAMMAR_ABLATION_METHODS,
+    METHOD_KINDS,
     MethodContext,
     MethodSpec,
     PENALTY_ABLATION_METHODS,
@@ -65,6 +66,21 @@ from .registry import (
     resolve_method,
     resolve_methods,
 )
+
+# The portfolio engine is part of the public lifting surface (it satisfies
+# the Lifter protocol and races registry methods), but the re-export must be
+# lazy: repro.portfolio imports this package's submodules, so an eager
+# ``from ..portfolio import ...`` here would crash whichever of the two
+# packages is imported *second* mid-initialisation of the first.
+_PORTFOLIO_EXPORTS = ("PortfolioLifter", "register_portfolio")
+
+
+def __getattr__(name: str):
+    if name in _PORTFOLIO_EXPORTS:
+        from .. import portfolio
+
+        return getattr(portfolio, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @runtime_checkable
@@ -113,8 +129,11 @@ __all__ = [
     "SearchStage",
     "STAGES",
     "STAGE_NAMES",
+    "METHOD_KINDS",
     "MethodContext",
     "MethodSpec",
+    "PortfolioLifter",
+    "register_portfolio",
     "register_method",
     "resolve_method",
     "resolve_methods",

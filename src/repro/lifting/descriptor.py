@@ -41,7 +41,15 @@ def describe_lifter(lifter: object) -> Dict[str, object]:
     ``StaggConfig.digest_dict()``; for baselines it is the class name plus
     the instance state (verifier config, budgets, heuristics flags), which
     covers every outcome-relevant knob the shipped lifters have.
+
+    Composite lifters — methods built *from other lifters*, like the
+    portfolio engine — opt out of the generic instance-state rendering by
+    setting ``composes_descriptor = True`` and owning their ``descriptor()``
+    (typically recursing into this function per member).  The generic path
+    would otherwise try to JSON-render live lifter objects.
     """
+    if getattr(lifter, "composes_descriptor", False):
+        return lifter.descriptor()
     config = getattr(lifter, "config", None)
     oracle = getattr(lifter, "_oracle", None) or getattr(lifter, "oracle", None)
     descriptor: Dict[str, object] = {"class": type(lifter).__qualname__}

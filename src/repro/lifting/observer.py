@@ -19,6 +19,7 @@ Observer contract
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional
 
 from ..core.search import SEARCH_PROGRESS_INTERVAL, safe_notify
@@ -29,7 +30,27 @@ __all__ = [
     "RecordingObserver",
     "SEARCH_PROGRESS_INTERVAL",
     "safe_notify",
+    "tag_member",
+    "tagged_member",
 ]
+
+
+def tag_member(task_name: str, member: str) -> str:
+    """Tag a stage event's task name with the racing member emitting it.
+
+    Portfolio members share one observer; stage events carry the member as
+    ``task[member]`` so interleaved progress stays attributable.  This is
+    the *only* definition of the tag format — consumers recover the member
+    with :func:`tagged_member`.
+    """
+    return f"{task_name}[{member}]"
+
+
+def tagged_member(task_name: str) -> str:
+    """The member a :func:`tag_member`-tagged task name carries ('' if none)."""
+    if task_name.endswith("]") and "[" in task_name:
+        return task_name[task_name.rfind("[") + 1 : -1]
+    return ""
 
 
 class LiftObserver:
@@ -49,6 +70,24 @@ class LiftObserver:
 
     def candidate_accepted(self, program: str) -> None:
         """A candidate passed validation and bounded verification."""
+
+    # -------------------------------------------------------------- #
+    # Portfolio events (see repro.portfolio): callbacks may arrive
+    # from member threads, so observers that aggregate must lock.
+    # -------------------------------------------------------------- #
+    def member_started(self, member: str, task_name: str) -> None:
+        """A portfolio member began racing the task."""
+
+    def member_finished(
+        self, member: str, task_name: str, success: bool, seconds: float
+    ) -> None:
+        """A portfolio member returned (win, loss or timeout)."""
+
+    def member_cancelled(self, member: str, task_name: str) -> None:
+        """A racing member was cancelled because another member won."""
+
+    def portfolio_winner(self, member: str, task_name: str) -> None:
+        """The portfolio committed to *member*'s verified program."""
 
 
 class PrintObserver(LiftObserver):
@@ -75,27 +114,65 @@ class PrintObserver(LiftObserver):
     def candidate_accepted(self, program: str) -> None:
         self._emit(f"  accepted: {program}")
 
+    def member_started(self, member: str, task_name: str) -> None:
+        self._emit(f"[{task_name}] member {member} started")
+
+    def member_finished(
+        self, member: str, task_name: str, success: bool, seconds: float
+    ) -> None:
+        outcome = "solved" if success else "no solution"
+        self._emit(f"[{task_name}] member {member}: {outcome} in {seconds:.3f}s")
+
+    def member_cancelled(self, member: str, task_name: str) -> None:
+        self._emit(f"[{task_name}] member {member} cancelled (another member won)")
+
+    def portfolio_winner(self, member: str, task_name: str) -> None:
+        self._emit(f"[{task_name}] winner: {member}")
+
 
 class RecordingObserver(LiftObserver):
-    """Collects every event as a tuple (used by tests and diagnostics)."""
+    """Collects every event as a tuple (used by tests and diagnostics).
+
+    Appends are serialized: portfolio member events arrive from racing
+    threads, and a plain list mutated concurrently could drop events.
+    """
 
     def __init__(self) -> None:
         self.events: List[tuple] = []
+        self._lock = threading.Lock()
+
+    def _record(self, event: tuple) -> None:
+        with self._lock:
+            self.events.append(event)
 
     def stage_started(self, stage: str, task_name: str) -> None:
-        self.events.append(("stage_started", stage, task_name))
+        self._record(("stage_started", stage, task_name))
 
     def stage_finished(self, stage: str, task_name: str, seconds: float) -> None:
-        self.events.append(("stage_finished", stage, task_name, seconds))
+        self._record(("stage_finished", stage, task_name, seconds))
 
     def stage_skipped(self, stage: str, task_name: str) -> None:
-        self.events.append(("stage_skipped", stage, task_name))
+        self._record(("stage_skipped", stage, task_name))
 
     def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
-        self.events.append(("search_progress", nodes_expanded, candidates_tried))
+        self._record(("search_progress", nodes_expanded, candidates_tried))
 
     def candidate_accepted(self, program: str) -> None:
-        self.events.append(("candidate_accepted", program))
+        self._record(("candidate_accepted", program))
+
+    def member_started(self, member: str, task_name: str) -> None:
+        self._record(("member_started", member, task_name))
+
+    def member_finished(
+        self, member: str, task_name: str, success: bool, seconds: float
+    ) -> None:
+        self._record(("member_finished", member, task_name, success, seconds))
+
+    def member_cancelled(self, member: str, task_name: str) -> None:
+        self._record(("member_cancelled", member, task_name))
+
+    def portfolio_winner(self, member: str, task_name: str) -> None:
+        self._record(("portfolio_winner", member, task_name))
 
     def stages(self, kind: str = "stage_finished") -> List[str]:
         """The stage names seen for one event kind, in order."""

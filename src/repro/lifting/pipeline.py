@@ -105,6 +105,28 @@ class PipelineState:
         self.pcfg = None
         self.outcome = None
 
+    def fork(self) -> "PipelineState":
+        """A new state sharing this one's oracle-derived artifacts.
+
+        The fork carries the (immutable-in-practice) oracle response,
+        templates and dimension prediction by reference and starts with the
+        config-derived group empty, so several configurations can re-search
+        the same artifacts *concurrently* — each on its own fork — without
+        clobbering each other's grammar/pCFG/outcome fields.  This is what
+        the portfolio engine races on: one oracle query, many searches.
+        """
+        return PipelineState(
+            task=self.task,
+            function=self.function,
+            signature=self.signature,
+            oracle_response=self.oracle_response,
+            templates=self.templates,
+            num_indices=self.num_indices,
+            dimension_list=self.dimension_list,
+            voted_dimension_list=self.voted_dimension_list,
+            static_lhs_rank=self.static_lhs_rank,
+        )
+
 
 class Stage(abc.ABC):
     """One pipeline stage: produce artifacts, annotate the report."""
@@ -314,6 +336,13 @@ STAGES: Tuple[Stage, ...] = (
     GrammarStage(),
     SearchStage(),
 )
+
+#: The oracle-derived prefix of the pipeline (task x oracle only; no
+#: config-derived artifacts).  Running exactly these stages populates a
+#: state that any configuration can then re-search via ``fork()`` /
+#: ``lift_from_state`` — the portfolio engine's one-query-many-searches
+#: preparation step (:meth:`StaggSynthesizer.prepare_state`).
+ORACLE_STAGES: Tuple[Stage, ...] = STAGES[:3]
 
 
 @dataclass

@@ -84,9 +84,12 @@ class MethodSpec:
 
     name: str
     factory: MethodFactory
-    kind: str  # "stagg" | "baseline"
+    kind: str  # "stagg" | "baseline" | "portfolio"
     description: str = ""
 
+
+#: Valid method kinds (``portfolio`` methods compose other registered ones).
+METHOD_KINDS = ("stagg", "baseline", "portfolio")
 
 _REGISTRY: Dict[str, MethodSpec] = {}
 
@@ -100,8 +103,8 @@ def register_method(
     replace: bool = False,
 ) -> MethodSpec:
     """Register *factory* under *name*; names are unique unless ``replace``."""
-    if kind not in ("stagg", "baseline"):
-        raise ValueError(f"kind must be 'stagg' or 'baseline', got {kind!r}")
+    if kind not in METHOD_KINDS:
+        raise ValueError(f"kind must be one of {METHOD_KINDS}, got {kind!r}")
     if name in _REGISTRY and not replace:
         raise ValueError(
             f"method {name!r} is already registered; pass replace=True to override"
@@ -119,12 +122,25 @@ def method_names(kind: Optional[str] = None) -> List[str]:
 
 
 def method_spec(name: str) -> MethodSpec:
-    """The spec registered under *name* (KeyError lists valid names)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    """The spec registered under *name* (KeyError lists valid names).
+
+    Names in the ``Portfolio(<member>,...)`` syntax resolve to a transient
+    portfolio spec without registration, so every consumer accepts ad-hoc
+    portfolios over registered members (see :mod:`repro.portfolio.spec`).
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        # Imported lazily: the portfolio package composes registered
+        # methods, so it imports this module (not the other way around).
+        # maybe_portfolio_spec owns the syntax check (None for plain names,
+        # a specific KeyError for malformed Portfolio(... specs).
+        from ..portfolio.spec import maybe_portfolio_spec
+
+        spec = maybe_portfolio_spec(name)
+    if spec is None:
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown lifting method {name!r}; registered: {known}") from None
+        raise KeyError(f"unknown lifting method {name!r}; registered: {known}")
+    return spec
 
 
 def resolve_method(
@@ -317,8 +333,25 @@ def _register_baseline_methods() -> None:
     )
 
 
+def _register_portfolio_methods() -> None:
+    # Imported lazily (bottom of this module): repro.portfolio composes
+    # registered methods via this registry, so the import must run after
+    # the registry's own surface is fully defined.
+    from ..portfolio.spec import register_portfolio
+
+    register_portfolio(
+        "Portfolio.Default",
+        ("STAGG_TD", "STAGG_BU"),
+        description=(
+            "race STAGG_TD and STAGG_BU under one budget; first verified "
+            "win, shared oracle state (ad-hoc: Portfolio(<member>,...))"
+        ),
+    )
+
+
 _register_stagg_methods()
 _register_baseline_methods()
+_register_portfolio_methods()
 
 
 #: The six methods of Figures 9-10 / Table 1.

@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.result import SynthesisReport
 from ..lifting import Budget, LiftObserver
+from ..lifting.observer import tagged_member
 from .store import ResultStore
 
 #: Extra wall-clock slack granted on top of a job's budget in process mode
@@ -136,15 +137,48 @@ class _JobObserver(LiftObserver):
 
     def __init__(self, job: "Job") -> None:
         self._job = job
+        self._racing = False
+
+    def _member_of(self, task_name: str) -> str:
+        """The ``[member]`` attribution a portfolio tags stage events with.
+
+        Only consulted once a ``member_started`` event marked this job as a
+        race — a plain lift of a task whose *name* contains brackets must
+        not be mistaken for a portfolio member.
+        """
+        if not self._racing:
+            return ""
+        return tagged_member(task_name)
 
     def stage_started(self, stage: str, task_name: str) -> None:
-        self._job.stage = stage
+        member = self._member_of(task_name)
+        self._job.stage = f"portfolio[{member}]:{stage}" if member else stage
 
     def stage_skipped(self, stage: str, task_name: str) -> None:
-        self._job.stage = f"{stage} (cached)"
+        member = self._member_of(task_name)
+        if member:
+            # Racing members resume from the portfolio's shared oracle state
+            # — their skipped stages are shared work, not store replays.
+            self._job.stage = f"portfolio[{member}]:{stage} (shared)"
+        else:
+            self._job.stage = f"{stage} (cached)"
 
     def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
-        self._job.stage = f"search:{nodes_expanded}"
+        prefix = "portfolio search" if self._racing else "search"
+        self._job.stage = f"{prefix}:{nodes_expanded}"
+
+    # Portfolio jobs: surface the race itself, not just pipeline stages.
+    # Member events arrive from racing threads; the stage field is a plain
+    # last-writer-wins snapshot, which is exactly what a live view wants.
+    def member_started(self, member: str, task_name: str) -> None:
+        self._racing = True
+        self._job.stage = f"portfolio:{member}"
+
+    def member_cancelled(self, member: str, task_name: str) -> None:
+        self._job.stage = f"portfolio:{member} cancelled"
+
+    def portfolio_winner(self, member: str, task_name: str) -> None:
+        self._job.stage = f"portfolio winner:{member}"
 
 
 def _accepts_budget(executor: Callable) -> bool:
@@ -192,6 +226,7 @@ class JobScheduler:
         self._shutdown = False
         self._deduplicated = 0
         self._store_answers = 0
+        self._budget_truncated = 0
         self._finished_counts = {
             JobState.SUCCEEDED: 0,
             JobState.FAILED: 0,
@@ -319,6 +354,7 @@ class JobScheduler:
                 "cancelled": self._finished_counts[JobState.CANCELLED],
                 "deduplicated": self._deduplicated,
                 "store_answers": self._store_answers,
+                "budget_truncated": self._budget_truncated,
             }
 
     def shutdown(self, wait: bool = True, timeout: Optional[float] = 10.0) -> None:
@@ -408,6 +444,8 @@ class JobScheduler:
                 report = self._executor(job.payload)
         except _JobOverrun as overrun:
             job.error = str(overrun)
+            with self._lock:
+                self._budget_truncated += 1
             self._finish(job, JobState.FAILED)
             return
         except BaseException as error:  # noqa: BLE001 - never kill a worker
@@ -422,6 +460,11 @@ class JobScheduler:
         with self._lock:
             cancelled = job.budget is not None and job.budget.cancelled
             job._committed = not cancelled
+            # Deadline truncations are first-class service telemetry: a job
+            # whose report was cut short by its wall-clock budget (but not
+            # explicitly cancelled) counts once, surfaced via GET /stats.
+            if not cancelled and job.budget is not None and report.timed_out:
+                self._budget_truncated += 1
         if cancelled:
             # An explicitly cancelled run stops at an arbitrary point, so its
             # truncated report is not the deterministic answer for this

@@ -143,6 +143,20 @@ def _load_bench_module():
     return module
 
 
+#: Minimal portfolio section matching the BENCH record schema, for bench.py
+#: summary-printing stubs (the real measurement is exercised elsewhere).
+_FAKE_PORTFOLIO = {
+    "spec": "Portfolio(STAGG_TD,STAGG_BU)",
+    "members": {
+        "STAGG_TD": {"seconds": 1.0, "solved": 1},
+        "STAGG_BU": {"seconds": 2.0, "solved": 1},
+    },
+    "portfolio": {"seconds": 1.0, "solved": 1},
+    "fastest_member": "STAGG_TD",
+    "wallclock_ratio": 1.0,
+}
+
+
 class TestBenchOverwriteGuard:
     def test_refuses_to_overwrite_existing_record(self, tmp_path, capsys, monkeypatch):
         bench = _load_bench_module()
@@ -161,7 +175,7 @@ class TestBenchOverwriteGuard:
     def test_force_overwrites(self, tmp_path, monkeypatch, capsys):
         bench = _load_bench_module()
 
-        def fake_write(path, scope):
+        def fake_write(path, scope, include_portfolio=True):
             Path(path).write_text("{}")
             return {
                 "validator": {
@@ -173,6 +187,7 @@ class TestBenchOverwriteGuard:
                     "topdown": {"nodes_per_sec": 1.0},
                     "bottomup": {"nodes_per_sec": 1.0},
                 },
+                "portfolio": _FAKE_PORTFOLIO,
             }
 
         monkeypatch.setattr(bench, "write_perf_record", fake_write)
@@ -186,7 +201,7 @@ class TestBenchOverwriteGuard:
         monkeypatch.setattr(
             bench,
             "write_perf_record",
-            lambda path, scope: (
+            lambda path, scope, include_portfolio=True: (
                 Path(path).write_text("{}"),
                 {
                     "validator": {
@@ -198,9 +213,39 @@ class TestBenchOverwriteGuard:
                         "topdown": {"nodes_per_sec": 1.0},
                         "bottomup": {"nodes_per_sec": 1.0},
                     },
+                    "portfolio": _FAKE_PORTFOLIO,
                 },
             )[1],
         )
         output = tmp_path / "BENCH_fresh.json"
         assert bench.main(["--output", str(output)]) == 0
         assert output.exists()
+
+    def test_no_portfolio_skips_the_race_and_prints_cleanly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        bench = _load_bench_module()
+        seen = {}
+
+        def fake_write(path, scope, include_portfolio=True):
+            seen["include_portfolio"] = include_portfolio
+            Path(path).write_text("{}")
+            # No "portfolio" key, matching run_perf_suite's omission.
+            return {
+                "validator": {
+                    "tiered_cached": {"candidates_per_sec": 1.0},
+                    "seed_reference": {"candidates_per_sec": 1.0},
+                    "speedup": 1.0,
+                },
+                "search": {
+                    "topdown": {"nodes_per_sec": 1.0},
+                    "bottomup": {"nodes_per_sec": 1.0},
+                },
+            }
+
+        monkeypatch.setattr(bench, "write_perf_record", fake_write)
+        output = tmp_path / "BENCH_fresh.json"
+        assert bench.main(["--output", str(output), "--no-portfolio"]) == 0
+        assert seen["include_portfolio"] is False
+        out = capsys.readouterr().out
+        assert not any(line.startswith("portfolio") for line in out.splitlines())

@@ -83,6 +83,60 @@ class TestObserverEvents:
         assert report.success
         assert not report.error
 
+    def test_broken_observer_warns_exactly_once(self):
+        import warnings
+
+        class Broken(RecordingObserver):
+            def stage_started(self, stage, task_name):
+                raise RuntimeError("observer bug")
+
+        observer = Broken()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = _synthesizer().lift(_task(), observer=observer)
+        assert report.success
+        ours = [
+            w
+            for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "lift observer" in str(w.message)
+        ]
+        # Five stages raise five times, but the observer is warned about
+        # exactly once — diagnosable without being noisy.
+        assert len(ours) == 1
+        assert "Broken.stage_started" in str(ours[0].message)
+        assert "RuntimeError: observer bug" in str(ours[0].message)
+
+    def test_broken_observer_survives_warnings_as_errors(self):
+        # Under -W error (or pytest filterwarnings = error) the diagnostic
+        # warning itself raises; it must not break the "observer exceptions
+        # never abort a lift" contract.
+        import warnings
+
+        class Broken(RecordingObserver):
+            def stage_started(self, stage, task_name):
+                raise RuntimeError("observer bug")
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = _synthesizer().lift(_task(), observer=Broken())
+        assert report.success
+        assert not report.error
+
+    def test_each_broken_observer_gets_its_own_warning(self):
+        import warnings
+
+        class Broken(RecordingObserver):
+            def stage_started(self, stage, task_name):
+                raise RuntimeError("observer bug")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _synthesizer().lift(_task(), observer=Broken())
+            _synthesizer().lift(_task(), observer=Broken())
+        ours = [w for w in caught if "lift observer" in str(w.message)]
+        assert len(ours) == 2
+
 
 class TestResumeFromState:
     def test_resume_skips_oracle_derived_stages(self):

@@ -48,9 +48,12 @@ class TestRegistryContents:
     def test_kinds_partition(self):
         stagg = set(method_names(kind="stagg"))
         baseline = set(method_names(kind="baseline"))
+        portfolio = set(method_names(kind="portfolio"))
         assert stagg.isdisjoint(baseline)
-        assert stagg | baseline == set(method_names())
+        assert portfolio.isdisjoint(stagg | baseline)
+        assert stagg | baseline | portfolio == set(method_names())
         assert {"LLM", "C2TACO", "C2TACO.NoHeuristics", "Tenspiler"} <= baseline
+        assert "Portfolio.Default" in portfolio
 
     def test_unknown_name_raises_with_known_names(self):
         with pytest.raises(KeyError, match="STAGG_TD"):

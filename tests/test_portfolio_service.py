@@ -1,0 +1,231 @@
+"""Service and HTTP integration for the portfolio engine + stats counters.
+
+Covers the PR-4 service satellites: ``POST /submit`` accepts portfolio
+specs and threads the job budget through the race, the stored result
+replays O(1) on resubmission with the winner's member name in the payload,
+and ``GET /stats`` exposes the new ``cancelled`` / ``budget_truncated``
+job counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.synthesizer import synthesis_invocations
+from repro.service import LiftRequest, LiftingService, make_server, serve_in_background
+from repro.service.scheduler import JobState
+
+PORTFOLIO = "Portfolio(STAGG_TD,STAGG_BU)"
+
+#: A lift whose unbudgeted run is effectively unbounded (the hard case of
+#: tests/test_service_methods.py) — used to exercise deadline truncation.
+HARD_REQUEST_FIELDS = dict(
+    benchmark="dsp.mat_mult",
+    method="STAGG_TD.FullGrammar",
+    candidates=(
+        "a(i,j) = b(i,k) * c(k,j) + d(i,j)",
+        "a(i,j) = b(i,j) + c(i,j) + d(i,j)",
+    ),
+)
+
+
+# ---------------------------------------------------------------------- #
+# LiftingService: portfolio requests
+# ---------------------------------------------------------------------- #
+class TestServicePortfolio:
+    def test_submit_portfolio_by_name(self):
+        with LiftingService(workers=1) as service:
+            job = service.submit(
+                LiftRequest(benchmark="darknet.copy_cpu", method=PORTFOLIO, timeout=30.0)
+            )
+            assert job.wait(60.0)
+            assert job.state is JobState.SUCCEEDED, job.error
+            assert job.report.success
+            assert job.report.method == PORTFOLIO
+            assert job.report.details["portfolio"]["winner"] in (
+                "STAGG_TD",
+                "STAGG_BU",
+            )
+
+    def test_job_budget_threads_through_the_race(self):
+        # A portfolio job in thread mode carries the cooperative budget; an
+        # unsolvable portfolio under a short deadline stops near it.
+        with LiftingService(workers=1) as service:
+            started = time.monotonic()
+            job = service.submit(
+                LiftRequest(
+                    timeout=0.5,
+                    benchmark="dsp.mat_mult",
+                    method="Portfolio(STAGG_TD.FullGrammar,STAGG_TD.LLMGrammar)",
+                    candidates=HARD_REQUEST_FIELDS["candidates"],
+                )
+            )
+            assert job.wait(30.0)
+            assert time.monotonic() - started < 10.0
+            assert job.budget is not None
+            assert job.state is JobState.SUCCEEDED
+            assert job.report.timed_out and not job.report.success
+            members = job.report.details["portfolio"]["members"]
+            assert len(members) == 2
+
+    def test_default_portfolio_served(self):
+        with LiftingService(workers=1) as service:
+            job = service.submit(
+                LiftRequest(
+                    benchmark="darknet.copy_cpu", method="Portfolio.Default", timeout=30.0
+                )
+            )
+            assert job.wait(60.0)
+            assert job.state is JobState.SUCCEEDED, job.error
+            assert job.report.success
+
+    def test_unknown_portfolio_member_rejected_at_submit(self):
+        from repro.service.api import ServiceError
+
+        with LiftingService(workers=1) as service:
+            with pytest.raises(ServiceError, match="NoSuchMethod"):
+                service.submit(
+                    LiftRequest(
+                        benchmark="mathfu.dot", method="Portfolio(STAGG_TD,NoSuchMethod)"
+                    )
+                )
+
+
+# ---------------------------------------------------------------------- #
+# Stats counters (satellite: cancelled + budget_truncated in GET /stats)
+# ---------------------------------------------------------------------- #
+class TestStatsCounters:
+    def test_budget_truncated_counter_increments(self):
+        with LiftingService(workers=1) as service:
+            stats = service.stats()["scheduler"]
+            assert stats["budget_truncated"] == 0
+            assert stats["cancelled"] == 0
+            job = service.submit(LiftRequest(timeout=0.3, **HARD_REQUEST_FIELDS))
+            assert job.wait(30.0)
+            assert job.report.timed_out
+            assert service.stats()["scheduler"]["budget_truncated"] == 1
+
+    def test_cancelled_counter_increments(self):
+        with LiftingService(workers=1) as service:
+            job = service.submit(LiftRequest(timeout=120.0, **HARD_REQUEST_FIELDS))
+            deadline = time.monotonic() + 10.0
+            while job.state is not JobState.RUNNING:
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.01)
+            assert service.scheduler.cancel(job.id)
+            assert job.wait(30.0)
+            assert job.state is JobState.CANCELLED
+            stats = service.stats()["scheduler"]
+            assert stats["cancelled"] == 1
+            assert stats["budget_truncated"] == 0  # cancel is not truncation
+
+
+# ---------------------------------------------------------------------- #
+# HTTP end-to-end
+# ---------------------------------------------------------------------- #
+@pytest.fixture()
+def server(tmp_path):
+    server = make_server(port=0, cache_dir=tmp_path / "store", workers=2)
+    thread = serve_in_background(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+    thread.join(5)
+
+
+def _base(server) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def _get(server, path: str):
+    with urllib.request.urlopen(_base(server) + path) as response:
+        return response.status, json.load(response)
+
+
+def _post(server, path: str, payload):
+    request = urllib.request.Request(
+        _base(server) + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+class TestHTTPPortfolio:
+    def test_portfolio_end_to_end_with_o1_replay(self, server):
+        """The acceptance e2e: submit, poll /status, replay from the store."""
+        payload = {
+            "benchmark": "darknet.copy_cpu",
+            "method": PORTFOLIO,
+            "timeout": 30.0,
+        }
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        job_id = body["job_id"]
+        # Poll /status until the job reaches a terminal state.
+        deadline = time.monotonic() + 60.0
+        state = ""
+        while time.monotonic() < deadline:
+            status, snapshot = _get(server, f"/status/{job_id}")
+            assert status == 200
+            state = snapshot["state"]
+            if state in ("succeeded", "failed", "cancelled"):
+                break
+            time.sleep(0.02)
+        assert state == "succeeded"
+        status, result = _get(server, f"/result/{job_id}")
+        assert status == 200
+        report = result["report"]
+        assert report["method"] == PORTFOLIO
+        assert report["success"]
+        # The winner's member name is recorded in the result payload.
+        winner = report["details"]["portfolio"]["winner"]
+        assert winner in ("STAGG_TD", "STAGG_BU")
+
+        # Resubmit: answered from the content-addressed store in O(1) —
+        # no new synthesis run, same winner in the replayed payload.
+        before = synthesis_invocations()
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        status, replay = _get(server, f"/result/{body['job_id']}?wait=30")
+        assert status == 200
+        assert replay["cached"]
+        assert replay["report"]["details"]["portfolio"]["winner"] == winner
+        assert synthesis_invocations() == before
+
+    def test_stats_expose_new_counters_over_http(self, server):
+        status, stats = _get(server, "/stats")
+        assert status == 200
+        scheduler = stats["scheduler"]
+        assert "cancelled" in scheduler
+        assert "budget_truncated" in scheduler
+
+    def test_live_status_shows_portfolio_stage(self, server):
+        payload = {
+            "benchmark": "dsp.mat_mult",
+            "method": "Portfolio(STAGG_TD.FullGrammar,STAGG_TD.LLMGrammar)",
+            "candidates": list(HARD_REQUEST_FIELDS["candidates"]),
+            "timeout": 20.0,
+        }
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        job_id = body["job_id"]
+        deadline = time.monotonic() + 10.0
+        seen = ""
+        while time.monotonic() < deadline:
+            _status, snapshot = _get(server, f"/status/{job_id}")
+            stage = snapshot.get("stage", "")
+            if "portfolio" in stage:
+                seen = stage
+                break
+            time.sleep(0.005)
+        assert seen, "no portfolio-attributed live stage observed"
+        # Don't wait out the 20s budget: cancel through the service.
+        server.service.scheduler.cancel(job_id)
