@@ -19,7 +19,8 @@ def test_figure9_series(standard_results, benchmark):
     print("Figure 9 (reproduced): solve-time series on real-world benchmarks")
     for method, times in sorted(series.items()):
         preview = ", ".join(f"{t:.2f}" for t in times[:8])
-        print(f"  {method:22s} solved={len(times):3d}  times=[{preview}{', ...' if len(times) > 8 else ''}]")
+        ellipsis = ", ..." if len(times) > 8 else ""
+        print(f"  {method:22s} solved={len(times):3d}  times=[{preview}{ellipsis}]")
 
     # Series are sorted (cactus plots are monotone) and consistent with counts.
     for method, times in series.items():

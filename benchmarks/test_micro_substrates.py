@@ -12,7 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cfront import parse_function, run_function
-from repro.core import IOExampleGenerator, StaggConfig, StaggSynthesizer, SearchLimits, VerifierConfig
+from repro.core import (
+    IOExampleGenerator,
+    StaggConfig,
+    StaggSynthesizer,
+    SearchLimits,
+    VerifierConfig,
+)
 from repro.core.grammar_gen import topdown_template_grammar
 from repro.core.pcfg_learn import learn_pcfg
 from repro.core.templates import templatize_all

@@ -14,7 +14,7 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from repro.evaluation import format_table, method_metrics, table2
+from repro.evaluation import format_table, table2
 
 #: Quick-scope noise margin, in benchmarks (see module docstring).
 TOLERANCE = 1

@@ -13,7 +13,7 @@ series (Figure 12).
 
 from __future__ import annotations
 
-from repro.evaluation import figure11, figure12, format_table, method_metrics, table3
+from repro.evaluation import figure11, figure12, format_table, table3
 
 
 def test_table3_grammar_ablation(grammar_results, benchmark):

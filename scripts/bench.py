@@ -1,87 +1,24 @@
 #!/usr/bin/env python
-"""Run the candidate-throughput microbenchmarks and emit the perf JSON.
+"""Thin shim over ``python -m repro bench`` (kept for muscle memory).
 
-Usage::
+The measurement core lives in :mod:`repro.bench.runner`; this script just
+puts ``src`` on the path and forwards its arguments.  Usage::
 
-    python scripts/bench.py --tag pr2 [--scope quick|full] [--output PATH]
+    python scripts/bench.py --tag pr5 [--scope quick|full] [--output PATH]
 
-The record's schema is described in :mod:`repro.evaluation.perf`; committed
-``BENCH_<tag>.json`` files at the repository root form the perf trajectory
-across PRs — pass your PR's tag so earlier baselines are never overwritten
-(``--output`` overrides the derived path entirely).
+Writing over an existing ``BENCH_<tag>.json`` is refused *before* any
+measurement runs (pass ``--force`` to really replace a baseline).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.evaluation.perf import write_perf_record  # noqa: E402
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--scope", choices=("quick", "full"), default="quick",
-        help="measurement size (quick: ~seconds, full: ~a minute)",
-    )
-    parser.add_argument(
-        "--tag", default="pr1",
-        help="trajectory tag; the record goes to BENCH_<tag>.json at the "
-        "repo root (pass your PR's tag to avoid overwriting baselines)",
-    )
-    parser.add_argument(
-        "--output", default=None,
-        help="explicit output path (overrides --tag)",
-    )
-    parser.add_argument(
-        "--force", action="store_true",
-        help="overwrite an existing record (without this, writing over an "
-        "existing BENCH_<tag>.json is refused — a reused tag would "
-        "silently destroy a prior PR's baseline)",
-    )
-    parser.add_argument(
-        "--no-portfolio", action="store_true",
-        help="skip the portfolio race measurement (the costliest section; "
-        "for runs that only gate on validator/search numbers — committed "
-        "BENCH_<tag>.json baselines should keep the full record)",
-    )
-    args = parser.parse_args(argv)
-    output = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{args.tag}.json"
-    if output.exists() and not args.force:
-        print(
-            f"refusing to overwrite existing {output}: that would destroy a "
-            f"committed perf baseline.  Pick a fresh --tag for this PR, or "
-            f"pass --force if you really mean to replace it.",
-            file=sys.stderr,
-        )
-        return 2
-    record = write_perf_record(
-        output, scope=args.scope, include_portfolio=not args.no_portfolio
-    )
-    validator = record["validator"]
-    search = record["search"]
-    print(f"validator  tiered+cached : {validator['tiered_cached']['candidates_per_sec']:>10.1f} candidates/sec")
-    print(f"validator  seed reference: {validator['seed_reference']['candidates_per_sec']:>10.1f} candidates/sec")
-    print(f"validator  speedup       : {validator['speedup']:>10.2f}x")
-    print(f"search     topdown       : {search['topdown']['nodes_per_sec']:>10.1f} nodes/sec")
-    print(f"search     bottomup      : {search['bottomup']['nodes_per_sec']:>10.1f} nodes/sec")
-    portfolio = record.get("portfolio")
-    if portfolio:
-        print(f"portfolio  {portfolio['spec']}:")
-        for member, result in portfolio["members"].items():
-            print(f"  member   {member:22s}: {result['seconds']:>8.2f}s ({result['solved']} solved)")
-        print(f"  racing   portfolio         : {portfolio['portfolio']['seconds']:>8.2f}s ({portfolio['portfolio']['solved']} solved)")
-        gate = portfolio.get("gate_ratio", 1.25)
-        print(f"  vs best  ({portfolio['fastest_member']}): {portfolio['wallclock_ratio']:.2f}x wall-clock (gate: <= {gate}x)")
-    print(f"record written to {output}")
-    return 0
-
+from repro.bench.runner import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -24,15 +24,9 @@ Two configurations are exposed, matching the paper's evaluation:
 from __future__ import annotations
 
 import itertools
-import time
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..cfront.analysis import (
-    analyze_loops,
-    analyze_signature,
-    harvest_constants,
-    predict_dimensions,
-)
+from ..cfront.analysis import analyze_signature, harvest_constants, predict_dimensions
 from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
 from ..core.verifier import VerifierConfig
@@ -95,7 +89,11 @@ class C2TacoLifter(BaselineLifter):
 
         report.dimension_list = tuple(
             [output_rank]
-            + [prediction.rank(name) for name in signature.inputs() if name in prediction.argument_ranks]
+            + [
+                prediction.rank(name)
+                for name in signature.inputs()
+                if name in prediction.argument_ranks
+            ]
         )
 
         lhs_indices = CANONICAL_INDEX_VARIABLES[:output_rank]

@@ -19,7 +19,7 @@ no more, so its coverage lands close to the 78% reported in Figure 10.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from ..cfront.analysis import analyze_signature, harvest_constants, predict_dimensions
 from ..core.result import SynthesisReport
@@ -129,7 +129,9 @@ class TenspilerLifter(BaselineLifter):
         # 1. Element-wise binary operations between rank-matched inputs.
         for (x, _), (y, _) in _ordered_pairs(rank_matched):
             for op in _OPERATORS:
-                yield self._parse(f"{out_access} = {x}{index[output_rank]} {op} {y}{index[output_rank]}")
+                yield self._parse(
+                    f"{out_access} = {x}{index[output_rank]} {op} {y}{index[output_rank]}"
+                )
 
         # 2. Scalar / constant broadcasts onto a rank-matched input.
         for x, _ in rank_matched:

@@ -1,0 +1,353 @@
+"""Declarative performance gates and the canonical gate registry.
+
+A :class:`Gate` is a comparison between one record metric (a dotted path
+understood by :meth:`repro.bench.schema.BenchRecord.metric`) and a
+threshold — either a literal number or another metric path inside the
+same record (``portfolio.wallclock_ratio <= portfolio.gate_ratio``).  The
+canonical gate set below is the single source of truth for the perf bars
+every PR must hold; CI evaluates it with ``repro gate``, never with
+inline Python in the workflow file.
+
+Adding a bar in a future PR is one call::
+
+    from repro.bench.gates import Gate, register_gate
+
+    register_gate(Gate(
+        gate_id="store-replay",
+        metric="store.replay_hits_per_sec",
+        op=">=",
+        threshold=1000.0,
+        requires="store",
+        description="warm-store replay must stay O(1)-cheap",
+    ))
+
+A gate whose ``requires`` section is absent from the record is reported
+as *skipped* (pre-PR-4 records have no ``portfolio`` section, yet their
+validator bar still evaluates); ``strict=True`` turns skips into
+failures for records that are expected to be complete.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .schema import BenchRecord
+
+#: The PR-1 acceptance bar: tiered+cached validator throughput must stay at
+#: least this multiple of the seed-reference loop.
+VALIDATOR_SPEEDUP_MIN = 3.0
+
+#: The PR-4 acceptance bar: racing-portfolio wall-clock must stay within
+#: this multiple of the fastest sequential member.  Embedded into every
+#: record (``portfolio.gate_ratio``) by the measurement harness so the
+#: record, the gate, and the printed summary can never drift apart.
+PORTFOLIO_GATE_RATIO = 1.25
+
+_OPS = {
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One declarative perf bar over a :class:`BenchRecord`."""
+
+    gate_id: str
+    metric: str
+    op: str
+    threshold: Optional[float] = None
+    threshold_ref: Optional[str] = None
+    requires: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unsupported gate op {self.op!r} (use >= or <=)")
+        if (self.threshold is None) == (self.threshold_ref is None):
+            raise ValueError(
+                "a Gate needs exactly one of threshold= (literal) or "
+                "threshold_ref= (metric path in the same record)"
+            )
+
+    def evaluate(self, record: BenchRecord) -> "GateResult":
+        """Evaluate this gate against *record*."""
+        if self.requires and not record.has_section(self.requires):
+            return GateResult(
+                gate=self,
+                status="skip",
+                detail=f"record has no {self.requires!r} section",
+            )
+        try:
+            value = record.metric(self.metric)
+        except KeyError:
+            return GateResult(
+                gate=self, status="skip", detail=f"metric {self.metric!r} not in record"
+            )
+        if self.threshold_ref is not None:
+            try:
+                threshold = record.metric(self.threshold_ref)
+            except KeyError:
+                return GateResult(
+                    gate=self,
+                    status="skip",
+                    detail=f"threshold metric {self.threshold_ref!r} not in record",
+                )
+        else:
+            threshold = self.threshold
+        passed = _OPS[self.op](value, threshold)
+        return GateResult(
+            gate=self,
+            status="pass" if passed else "fail",
+            value=value,
+            threshold_value=threshold,
+        )
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The verdict of one gate on one record."""
+
+    gate: Gate
+    status: str  # "pass" | "fail" | "skip"
+    value: Optional[object] = None
+    threshold_value: Optional[object] = None
+    detail: str = ""
+
+    @property
+    def bound(self) -> str:
+        """Human rendering of the bound, e.g. ``>= 3.0``."""
+        threshold = self.threshold_value
+        if threshold is None and self.gate.threshold is not None:
+            threshold = self.gate.threshold
+        rendered = _render_number(threshold) if threshold is not None else "?"
+        if self.gate.threshold_ref is not None:
+            rendered += f" ({self.gate.threshold_ref})"
+        return f"{self.gate.op} {rendered}"
+
+
+@dataclass
+class GateReport:
+    """All gate results (plus any baseline regressions) for one record."""
+
+    record: BenchRecord
+    results: List[GateResult]
+    regressions: List[object] = field(default_factory=list)
+    baseline_tag: Optional[str] = None
+
+    @property
+    def failed(self) -> List[GateResult]:
+        return [result for result in self.results if result.status == "fail"]
+
+    @property
+    def skipped(self) -> List[GateResult]:
+        return [result for result in self.results if result.status == "skip"]
+
+    def passed(self, strict: bool = False) -> bool:
+        if self.failed:
+            return False
+        if strict and self.skipped:
+            return False
+        return not any(finding.regressed for finding in self.regressions)
+
+    def exit_code(self, strict: bool = False) -> int:
+        return 0 if self.passed(strict=strict) else 1
+
+
+# ---------------------------------------------------------------------- #
+# The canonical registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Gate] = {}
+
+
+def register_gate(gate: Gate) -> Gate:
+    """Add *gate* to the canonical set; rejects duplicate ids."""
+    if gate.gate_id in _REGISTRY:
+        raise ValueError(f"gate {gate.gate_id!r} is already registered")
+    _REGISTRY[gate.gate_id] = gate
+    return gate
+
+
+def registered_gates() -> Tuple[Gate, ...]:
+    """The canonical gate set, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+register_gate(
+    Gate(
+        gate_id="validator-speedup",
+        metric="validator.speedup",
+        op=">=",
+        threshold=VALIDATOR_SPEEDUP_MIN,
+        description="PR-1 bar: tiered+cached validator vs. seed-reference loop",
+    )
+)
+register_gate(
+    Gate(
+        gate_id="portfolio-wallclock",
+        metric="portfolio.wallclock_ratio",
+        op="<=",
+        threshold_ref="portfolio.gate_ratio",
+        requires="portfolio",
+        description="PR-4 bar: racing portfolio vs. fastest sequential member",
+    )
+)
+register_gate(
+    Gate(
+        gate_id="portfolio-solves-best",
+        metric="portfolio.solved",
+        op=">=",
+        threshold_ref="portfolio.best_member_solved",
+        requires="portfolio",
+        description="PR-4 bar: the portfolio solves at least its best member's count",
+    )
+)
+
+
+def evaluate_gates(
+    record: BenchRecord,
+    gates: Optional[Sequence[Gate]] = None,
+    baseline: Optional[BenchRecord] = None,
+    tolerance_pct: Optional[float] = None,
+) -> GateReport:
+    """Evaluate *gates* (default: the canonical registry) against *record*.
+
+    With *baseline*, noise-aware regression detection over the trajectory
+    metrics is appended to the report (see :mod:`repro.bench.trajectory`);
+    a detected regression fails the report just like a failed gate.
+    """
+    from .trajectory import DEFAULT_TOLERANCE_PCT, detect_regressions
+
+    report = GateReport(
+        record=record,
+        results=[gate.evaluate(record) for gate in (gates or registered_gates())],
+    )
+    if baseline is not None:
+        report.baseline_tag = baseline.tag
+        report.regressions = detect_regressions(
+            baseline,
+            record,
+            tolerance_pct=(
+                DEFAULT_TOLERANCE_PCT if tolerance_pct is None else tolerance_pct
+            ),
+        )
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Rendering: human table, Markdown (CI step summaries), JSON
+# ---------------------------------------------------------------------- #
+_STATUS_MARKS = {"pass": "PASS", "fail": "FAIL", "skip": "skip"}
+_MD_MARKS = {"pass": "✅ pass", "fail": "❌ fail", "skip": "⏭️ skip"}
+
+
+def _render_number(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _result_rows(report: GateReport) -> List[Tuple[str, str, str, str, str]]:
+    rows = []
+    for result in report.results:
+        value = _render_number(result.value) if result.value is not None else "-"
+        rows.append(
+            (
+                result.gate.gate_id,
+                result.gate.metric,
+                value,
+                result.bound if result.status != "skip" else result.detail,
+                _STATUS_MARKS[result.status],
+            )
+        )
+    for finding in report.regressions:
+        rows.append(
+            (
+                f"regression:{finding.metric}",
+                finding.metric,
+                _render_number(finding.current),
+                f">= {finding.floor:g} (baseline {finding.baseline:g} "
+                f"- {finding.tolerance_pct:g}%)",
+                "FAIL" if finding.regressed else "PASS",
+            )
+        )
+    return rows
+
+
+def render_table(report: GateReport, strict: bool = False) -> str:
+    """The human verdict table ``repro gate`` prints by default."""
+    rows = _result_rows(report)
+    headers = ("gate", "metric", "value", "bound", "verdict")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(5)
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(5)),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    tag = report.record.tag or "<untagged>"
+    verdict = "PASS" if report.passed(strict=strict) else "FAIL"
+    suffix = f" vs baseline {report.baseline_tag}" if report.baseline_tag else ""
+    lines.append(f"record {tag} ({report.record.scope} scope){suffix}: {verdict}")
+    return "\n".join(lines)
+
+
+def render_markdown(report: GateReport, strict: bool = False) -> str:
+    """GitHub-flavoured Markdown for ``$GITHUB_STEP_SUMMARY``."""
+    tag = report.record.tag or "<untagged>"
+    verdict = "**PASS** ✅" if report.passed(strict=strict) else "**FAIL** ❌"
+    suffix = f" vs baseline `{report.baseline_tag}`" if report.baseline_tag else ""
+    lines = [
+        f"### Perf gates — record `{tag}` ({report.record.scope} scope){suffix}: {verdict}",
+        "",
+        "| gate | metric | value | bound | verdict |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for gate_id, metric, value, bound, verdict_cell in _result_rows(report):
+        mark = _MD_MARKS.get(verdict_cell.lower(), verdict_cell)
+        lines.append(f"| `{gate_id}` | `{metric}` | {value} | {bound} | {mark} |")
+    if report.record.git_sha:
+        lines += ["", f"measured at `{report.record.git_sha}`"]
+    return "\n".join(lines)
+
+
+def render_json(report: GateReport, strict: bool = False) -> str:
+    """Machine-readable verdict (one JSON object, stable key order)."""
+    payload = {
+        "record": {
+            "tag": report.record.tag,
+            "scope": report.record.scope,
+            "git_sha": report.record.git_sha,
+        },
+        "baseline": report.baseline_tag,
+        "passed": report.passed(strict=strict),
+        "gates": [
+            {
+                "gate": result.gate.gate_id,
+                "metric": result.gate.metric,
+                "status": result.status,
+                "value": result.value,
+                "threshold": result.threshold_value,
+                "op": result.gate.op,
+                "detail": result.detail,
+            }
+            for result in report.results
+        ],
+        "regressions": [
+            {
+                "metric": finding.metric,
+                "baseline": finding.baseline,
+                "current": finding.current,
+                "change_pct": finding.change_pct,
+                "tolerance_pct": finding.tolerance_pct,
+                "regressed": finding.regressed,
+            }
+            for finding in report.regressions
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,460 @@
+"""Typed schema for ``BENCH_<tag>.json`` performance records.
+
+Every committed record at the repository root loads through
+:class:`BenchRecord`, which validates structure *strictly*: a missing,
+renamed, or unexpectedly-typed field raises :class:`BenchSchemaError` with
+the exact JSON path, and unknown keys are rejected too — so schema drift
+is caught the moment the measurement code and the committed trajectory
+disagree, not when a gate silently reads ``None``.
+
+The schema mirrors what :func:`repro.evaluation.perf.run_perf_suite`
+emits (``schema: repro-perf-v1``):
+
+* ``validator`` — tiered+cached hot path vs. the seed-reference loop,
+  plus their ``speedup`` ratio (the PR-1 gate metric);
+* ``search`` — top-down / bottom-up A* nodes/sec and duplicate pruning;
+* ``portfolio`` (optional; absent from pre-PR-4 records) — the racing
+  portfolio vs. its sequential members (the PR-4 gate metrics);
+* ``tag`` / ``git_sha`` (optional; stamped by ``repro bench`` since PR 5)
+  — trajectory provenance.  Records written before PR 5 carry neither;
+  :meth:`BenchRecord.from_path` derives the tag from the file name.
+
+Gates and the trajectory tooling read metrics through
+:meth:`BenchRecord.metric` using dotted paths (``validator.speedup``,
+``search.topdown.nodes_per_sec``) plus a few derived aliases
+(``portfolio.solved``, ``portfolio.best_member_solved``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+#: The record schema identifier this module understands.
+SCHEMA_VERSION = "repro-perf-v1"
+
+#: ``BENCH_<tag>.json`` — the repo-root naming convention for records.
+RECORD_NAME_RE = re.compile(r"^BENCH_(?P<tag>[A-Za-z0-9][A-Za-z0-9_.-]*)\.json$")
+
+
+class BenchSchemaError(ValueError):
+    """A ``BENCH_*.json`` record does not match the expected schema."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.json_path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+def _require_mapping(data: object, path: str) -> Mapping:
+    if not isinstance(data, Mapping):
+        raise BenchSchemaError(path, f"expected an object, got {type(data).__name__}")
+    return data
+
+
+def _check_keys(data: Mapping, path: str, required: Tuple[str, ...],
+                optional: Tuple[str, ...] = ()) -> None:
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise BenchSchemaError(path, f"missing required field(s): {', '.join(missing)}")
+    unknown = [key for key in data if key not in required and key not in optional]
+    if unknown:
+        raise BenchSchemaError(
+            path,
+            f"unknown field(s): {', '.join(sorted(unknown))} — if the schema "
+            f"grew a field, teach repro.bench.schema about it",
+        )
+
+
+def _number(data: Mapping, key: str, path: str) -> float:
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BenchSchemaError(
+            f"{path}.{key}", f"expected a number, got {type(value).__name__}"
+        )
+    return value
+
+
+def _integer(data: Mapping, key: str, path: str) -> int:
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BenchSchemaError(
+            f"{path}.{key}", f"expected an integer, got {type(value).__name__}"
+        )
+    return value
+
+
+def _string(data: Mapping, key: str, path: str) -> str:
+    value = data[key]
+    if not isinstance(value, str):
+        raise BenchSchemaError(
+            f"{path}.{key}", f"expected a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _string_list(data: Mapping, key: str, path: str) -> Tuple[str, ...]:
+    value = data[key]
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise BenchSchemaError(f"{path}.{key}", "expected a list of strings")
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class ValidatorMeasurement:
+    """One validator configuration's throughput numbers."""
+
+    candidates: int
+    seconds: float
+    candidates_per_sec: float
+
+    @classmethod
+    def from_dict(cls, data: object, path: str) -> "ValidatorMeasurement":
+        mapping = _require_mapping(data, path)
+        _check_keys(mapping, path, ("candidates", "seconds", "candidates_per_sec"))
+        return cls(
+            candidates=_integer(mapping, "candidates", path),
+            seconds=_number(mapping, "seconds", path),
+            candidates_per_sec=_number(mapping, "candidates_per_sec", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidates": self.candidates,
+            "seconds": self.seconds,
+            "candidates_per_sec": self.candidates_per_sec,
+        }
+
+
+@dataclass(frozen=True)
+class ValidatorSection:
+    """The ``validator`` section: hot path vs. seed reference."""
+
+    tiered_cached: ValidatorMeasurement
+    seed_reference: ValidatorMeasurement
+    speedup: float
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "validator") -> "ValidatorSection":
+        mapping = _require_mapping(data, path)
+        _check_keys(mapping, path, ("tiered_cached", "seed_reference", "speedup"))
+        return cls(
+            tiered_cached=ValidatorMeasurement.from_dict(
+                mapping["tiered_cached"], f"{path}.tiered_cached"
+            ),
+            seed_reference=ValidatorMeasurement.from_dict(
+                mapping["seed_reference"], f"{path}.seed_reference"
+            ),
+            speedup=_number(mapping, "speedup", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tiered_cached": self.tiered_cached.to_dict(),
+            "seed_reference": self.seed_reference.to_dict(),
+            "speedup": self.speedup,
+        }
+
+
+@dataclass(frozen=True)
+class SearchMeasurement:
+    """One search style's expansion-throughput numbers."""
+
+    nodes: int
+    duplicates_pruned: int
+    seconds: float
+    nodes_per_sec: float
+
+    @classmethod
+    def from_dict(cls, data: object, path: str) -> "SearchMeasurement":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping, path, ("nodes", "duplicates_pruned", "seconds", "nodes_per_sec")
+        )
+        return cls(
+            nodes=_integer(mapping, "nodes", path),
+            duplicates_pruned=_integer(mapping, "duplicates_pruned", path),
+            seconds=_number(mapping, "seconds", path),
+            nodes_per_sec=_number(mapping, "nodes_per_sec", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "nodes": self.nodes,
+            "duplicates_pruned": self.duplicates_pruned,
+            "seconds": self.seconds,
+            "nodes_per_sec": self.nodes_per_sec,
+        }
+
+
+@dataclass(frozen=True)
+class SearchSection:
+    """The ``search`` section: both A* styles."""
+
+    topdown: SearchMeasurement
+    bottomup: SearchMeasurement
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "search") -> "SearchSection":
+        mapping = _require_mapping(data, path)
+        _check_keys(mapping, path, ("topdown", "bottomup"))
+        return cls(
+            topdown=SearchMeasurement.from_dict(mapping["topdown"], f"{path}.topdown"),
+            bottomup=SearchMeasurement.from_dict(
+                mapping["bottomup"], f"{path}.bottomup"
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "topdown": self.topdown.to_dict(),
+            "bottomup": self.bottomup.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class MethodMeasurement:
+    """One method's cold wall-clock over the portfolio kernel set."""
+
+    seconds: float
+    solved: int
+    per_kernel_seconds: Mapping[str, float]
+
+    @classmethod
+    def from_dict(cls, data: object, path: str) -> "MethodMeasurement":
+        mapping = _require_mapping(data, path)
+        _check_keys(mapping, path, ("seconds", "solved", "per_kernel_seconds"))
+        per_kernel = _require_mapping(
+            mapping["per_kernel_seconds"], f"{path}.per_kernel_seconds"
+        )
+        for kernel, value in per_kernel.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise BenchSchemaError(
+                    f"{path}.per_kernel_seconds.{kernel}", "expected a number"
+                )
+        return cls(
+            seconds=_number(mapping, "seconds", path),
+            solved=_integer(mapping, "solved", path),
+            per_kernel_seconds=dict(per_kernel),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seconds": self.seconds,
+            "solved": self.solved,
+            "per_kernel_seconds": dict(self.per_kernel_seconds),
+        }
+
+
+@dataclass(frozen=True)
+class PortfolioSection:
+    """The ``portfolio`` section: the racing portfolio vs. its members."""
+
+    spec: str
+    kernels: Tuple[str, ...]
+    timeout_seconds: float
+    members: Mapping[str, MethodMeasurement]
+    portfolio: MethodMeasurement
+    fastest_member: str
+    fastest_member_seconds: float
+    wallclock_ratio: float
+    gate_ratio: float
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "portfolio") -> "PortfolioSection":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping,
+            path,
+            (
+                "spec",
+                "kernels",
+                "timeout_seconds",
+                "members",
+                "portfolio",
+                "fastest_member",
+                "fastest_member_seconds",
+                "wallclock_ratio",
+                "gate_ratio",
+            ),
+        )
+        members_data = _require_mapping(mapping["members"], f"{path}.members")
+        if not members_data:
+            raise BenchSchemaError(f"{path}.members", "expected at least one member")
+        members = {
+            name: MethodMeasurement.from_dict(value, f"{path}.members.{name}")
+            for name, value in members_data.items()
+        }
+        fastest = _string(mapping, "fastest_member", path)
+        if fastest not in members:
+            raise BenchSchemaError(
+                f"{path}.fastest_member",
+                f"{fastest!r} is not one of the recorded members",
+            )
+        return cls(
+            spec=_string(mapping, "spec", path),
+            kernels=_string_list(mapping, "kernels", path),
+            timeout_seconds=_number(mapping, "timeout_seconds", path),
+            members=members,
+            portfolio=MethodMeasurement.from_dict(
+                mapping["portfolio"], f"{path}.portfolio"
+            ),
+            fastest_member=fastest,
+            fastest_member_seconds=_number(mapping, "fastest_member_seconds", path),
+            wallclock_ratio=_number(mapping, "wallclock_ratio", path),
+            gate_ratio=_number(mapping, "gate_ratio", path),
+        )
+
+    @property
+    def best_member_solved(self) -> int:
+        return max(member.solved for member in self.members.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec,
+            "kernels": list(self.kernels),
+            "timeout_seconds": self.timeout_seconds,
+            "members": {
+                name: member.to_dict() for name, member in self.members.items()
+            },
+            "portfolio": self.portfolio.to_dict(),
+            "fastest_member": self.fastest_member,
+            "fastest_member_seconds": self.fastest_member_seconds,
+            "wallclock_ratio": self.wallclock_ratio,
+            "gate_ratio": self.gate_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One validated ``BENCH_<tag>.json`` performance record."""
+
+    schema: str
+    scope: str
+    kernels: Tuple[str, ...]
+    validator: ValidatorSection
+    search: SearchSection
+    portfolio: Optional[PortfolioSection] = None
+    notes: Optional[str] = None
+    tag: Optional[str] = None
+    git_sha: Optional[str] = None
+    #: Whether ``tag`` was read from the record body (vs. derived from the
+    #: file name); derived tags are not emitted by :meth:`to_dict`, so
+    #: pre-PR-5 records round-trip byte-identically.
+    tag_in_record: bool = field(default=True, compare=False)
+
+    @classmethod
+    def from_dict(cls, data: object, tag: Optional[str] = None) -> "BenchRecord":
+        """Validate *data* and build the typed record.
+
+        *tag* is a fallback (usually derived from the file name) used only
+        when the record itself carries no ``tag`` field — records written
+        before PR 5 predate tag stamping.
+        """
+        mapping = _require_mapping(data, "")
+        _check_keys(
+            mapping,
+            "",
+            ("schema", "scope", "kernels", "validator", "search"),
+            optional=("portfolio", "notes", "tag", "git_sha"),
+        )
+        schema = _string(mapping, "schema", "")
+        if schema != SCHEMA_VERSION:
+            raise BenchSchemaError(
+                "schema", f"expected {SCHEMA_VERSION!r}, got {schema!r}"
+            )
+        portfolio = None
+        if "portfolio" in mapping:
+            portfolio = PortfolioSection.from_dict(mapping["portfolio"])
+        return cls(
+            schema=schema,
+            scope=_string(mapping, "scope", ""),
+            kernels=_string_list(mapping, "kernels", ""),
+            validator=ValidatorSection.from_dict(mapping["validator"]),
+            search=SearchSection.from_dict(mapping["search"]),
+            portfolio=portfolio,
+            notes=_string(mapping, "notes", "") if "notes" in mapping else None,
+            tag=_string(mapping, "tag", "") if "tag" in mapping else tag,
+            git_sha=_string(mapping, "git_sha", "") if "git_sha" in mapping else None,
+            tag_in_record="tag" in mapping,
+        )
+
+    @classmethod
+    def from_path(cls, path: Path) -> "BenchRecord":
+        """Load and validate one record file.
+
+        The trajectory tag falls back to the ``BENCH_<tag>.json`` file-name
+        convention when the record body predates tag stamping.
+        """
+        path = Path(path)
+        match = RECORD_NAME_RE.match(path.name)
+        fallback_tag = match.group("tag") if match else None
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise BenchSchemaError("", f"{path}: not valid JSON ({error})") from error
+        try:
+            return cls.from_dict(data, tag=fallback_tag)
+        except BenchSchemaError as error:
+            raise BenchSchemaError(
+                error.json_path, f"{path}: {error.args[0]}"
+            ) from error
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-ready dict; round-trips ``from_dict`` byte-identically.
+
+        Fields the source record did not carry (``tag``, ``git_sha``,
+        ``notes``, ``portfolio``) are omitted rather than emitted as null,
+        so committed pre-PR-5 records survive a load/dump cycle unchanged.
+        """
+        data: Dict[str, object] = {
+            "schema": self.schema,
+            "scope": self.scope,
+            "kernels": list(self.kernels),
+            "validator": self.validator.to_dict(),
+            "search": self.search.to_dict(),
+        }
+        if self.portfolio is not None:
+            data["portfolio"] = self.portfolio.to_dict()
+        if self.notes is not None:
+            data["notes"] = self.notes
+        if self.tag is not None and self.tag_in_record:
+            data["tag"] = self.tag
+        if self.git_sha is not None:
+            data["git_sha"] = self.git_sha
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Metric access
+    # ------------------------------------------------------------------ #
+    def metric(self, path: str) -> object:
+        """Resolve a dotted metric path (``validator.speedup``).
+
+        Besides plain field paths, two derived aliases exist for gates:
+        ``portfolio.solved`` (the racing portfolio's solve count) and
+        ``portfolio.best_member_solved`` (its best sequential member's).
+        Raises :class:`KeyError` when the path does not resolve — a gate
+        over a missing section reports *skipped* from that.
+        """
+        if path == "portfolio.solved":
+            if self.portfolio is None:
+                raise KeyError(path)
+            return self.portfolio.portfolio.solved
+        if path == "portfolio.best_member_solved":
+            if self.portfolio is None:
+                raise KeyError(path)
+            return self.portfolio.best_member_solved
+        node: object = self.to_dict()
+        for part in path.split("."):
+            if not isinstance(node, Mapping) or part not in node:
+                raise KeyError(path)
+            node = node[part]
+        return node
+
+    def has_section(self, name: str) -> bool:
+        """True when the top-level section *name* is present."""
+        return getattr(self, name, None) is not None

@@ -1,0 +1,160 @@
+"""The perf trajectory: discovery and noise-aware regression detection.
+
+Committed ``BENCH_<tag>.json`` records at the repository root form the
+performance trajectory across PRs (never overwrite an earlier tag — each
+record is a baseline).  This module discovers them, orders them by tag,
+and compares like-scope records with throughput tolerances wide enough to
+absorb shared-CI-runner noise: microbenchmark numbers on a loaded runner
+routinely wobble by double-digit percentages, so a "regression" is only
+called when the drop exceeds :data:`DEFAULT_TOLERANCE_PCT`.
+
+Scope discipline: ``quick`` and ``full`` records measure different
+workload sizes, so cross-scope comparison is refused rather than
+silently producing nonsense deltas.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .schema import RECORD_NAME_RE, BenchRecord
+
+#: Higher-is-better throughput metrics tracked across the trajectory.
+REGRESSION_METRICS = (
+    "validator.tiered_cached.candidates_per_sec",
+    "validator.speedup",
+    "search.topdown.nodes_per_sec",
+    "search.bottomup.nodes_per_sec",
+)
+
+#: Allowed relative drop before a trajectory delta counts as a regression.
+#: Sized for shared-CI-runner noise on sub-second microbenchmarks; tighten
+#: per call site when comparing runs from the same quiet machine.
+DEFAULT_TOLERANCE_PCT = 25.0
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One trajectory metric compared between two like-scope records."""
+
+    metric: str
+    baseline: float
+    current: float
+    tolerance_pct: float
+
+    @property
+    def change_pct(self) -> float:
+        """Signed relative change vs. the baseline (positive = faster)."""
+        if not self.baseline:
+            return 0.0
+        return round((self.current - self.baseline) / self.baseline * 100.0, 1)
+
+    @property
+    def floor(self) -> float:
+        """The lowest non-regressing value given the noise tolerance."""
+        return round(self.baseline * (1.0 - self.tolerance_pct / 100.0), 4)
+
+    @property
+    def regressed(self) -> bool:
+        return self.current < self.floor
+
+
+def _tag_sort_key(tag: str) -> Tuple:
+    """Natural order: ``pr2`` before ``pr10``, non-numeric parts lexical."""
+    parts = re.split(r"(\d+)", tag)
+    return tuple(int(part) if part.isdigit() else part for part in parts)
+
+
+def discover_records(root: Path) -> Tuple[BenchRecord, ...]:
+    """Load every ``BENCH_<tag>.json`` under *root*, ordered by tag.
+
+    Validation is strict: one malformed record fails discovery loudly
+    (schema drift in a committed baseline is a bug, not noise to skip).
+    """
+    root = Path(root)
+    records = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        if RECORD_NAME_RE.match(path.name):
+            records.append(BenchRecord.from_path(path))
+    return tuple(sorted(records, key=lambda record: _tag_sort_key(record.tag or "")))
+
+
+def find_record(root: Path, tag: str) -> BenchRecord:
+    """The record for *tag* under *root*; raises FileNotFoundError."""
+    path = Path(root) / f"BENCH_{tag}.json"
+    if not path.exists():
+        available = ", ".join(
+            record.tag or "?" for record in discover_records(root)
+        ) or "none"
+        raise FileNotFoundError(
+            f"no {path.name} under {root} (committed tags: {available})"
+        )
+    return BenchRecord.from_path(path)
+
+
+def detect_regressions(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    metrics: Sequence[str] = REGRESSION_METRICS,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> List[RegressionFinding]:
+    """Compare *current* against *baseline* with noise tolerance.
+
+    Raises :class:`ValueError` on a scope mismatch — ``quick`` and
+    ``full`` records are different workloads and must never be compared.
+    Metrics missing from either record (e.g. a future metric an old
+    baseline predates) are silently not compared.
+    """
+    if baseline.scope != current.scope:
+        raise ValueError(
+            f"cannot compare scopes: baseline is {baseline.scope!r}, "
+            f"current is {current.scope!r} (compare like scopes only)"
+        )
+    findings = []
+    for metric in metrics:
+        try:
+            old = baseline.metric(metric)
+            new = current.metric(metric)
+        except KeyError:
+            continue
+        findings.append(
+            RegressionFinding(
+                metric=metric,
+                baseline=float(old),
+                current=float(new),
+                tolerance_pct=tolerance_pct,
+            )
+        )
+    return findings
+
+
+def trajectory_rows(
+    records: Optional[Sequence[BenchRecord]] = None,
+    root: Optional[Path] = None,
+) -> List[Tuple[str, str, str, str, str, str]]:
+    """(tag, scope, speedup, td nodes/s, bu nodes/s, portfolio ratio) rows.
+
+    Pass *records* directly or *root* to discover; used by
+    ``repro bench --trajectory`` to print the committed perf history.
+    """
+    if records is None:
+        records = discover_records(root if root is not None else Path("."))
+    rows = []
+    for record in records:
+        portfolio = (
+            f"{record.portfolio.wallclock_ratio:g}x" if record.portfolio else "-"
+        )
+        rows.append(
+            (
+                record.tag or "?",
+                record.scope,
+                f"{record.validator.speedup:g}x",
+                f"{record.search.topdown.nodes_per_sec:g}",
+                f"{record.search.bottomup.nodes_per_sec:g}",
+                portfolio,
+            )
+        )
+    return rows

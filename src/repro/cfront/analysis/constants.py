@@ -11,21 +11,15 @@ expression — while literals that participate in the data computation
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple, Union
+from typing import List, Set, Tuple, Union
 
 from ..ast import (
-    Assignment,
-    BinaryOp,
-    Conditional,
     Declaration,
     Expr,
-    ExprStmt,
     FloatLiteral,
     For,
     FunctionDef,
     IntLiteral,
-    Return,
-    Stmt,
     UnaryOp,
     statement_expressions,
     walk_expressions,

@@ -224,7 +224,9 @@ def _distinct_induction_variables(
     return tuple(seen)
 
 
-def subscript_rank(access: ArrayIndex, induction_variables: Sequence[str], size_names: Sequence[str]) -> int:
+def subscript_rank(
+    access: ArrayIndex, induction_variables: Sequence[str], size_names: Sequence[str]
+) -> int:
     """Rank of a (possibly nested) subscript access ``A[..][..]``.
 
     Nested subscripts each contribute at least one dimension; flat affine

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..ast import (
     ArrayIndex,
-    Assignment,
     BinaryOp,
     Expr,
     FunctionDef,
@@ -34,7 +33,6 @@ from ..ast import (
     walk_expressions,
     walk_statements,
 )
-from ..errors import CAnalysisError
 from .delinearize import subscript_rank
 from .locals import inline_locals, scalar_definitions
 from .loops import LoopNest, analyze_loops

@@ -34,7 +34,6 @@ from ..ast import (
     FunctionDef,
     Identifier,
     IncDec,
-    IntLiteral,
     UnaryOp,
     walk_expressions,
     walk_statements,

@@ -12,12 +12,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..ast import (
     Assignment,
-    BinaryOp,
     Block,
     Declaration,
     DoWhile,
     Expr,
-    ExprStmt,
     For,
     FunctionDef,
     Identifier,

@@ -26,11 +26,9 @@ from ..ast import (
     BinaryOp,
     Declaration,
     Expr,
-    ExprStmt,
     FunctionDef,
     Identifier,
     IncDec,
-    Stmt,
     UnaryOp,
     statement_expressions,
     walk_expressions,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..ast import (
     ArrayIndex,
@@ -20,13 +20,11 @@ from ..ast import (
     BinaryOp,
     Declaration,
     Expr,
-    ExprStmt,
     For,
     FunctionDef,
     Identifier,
     IncDec,
     Return,
-    Stmt,
     UnaryOp,
     walk_expressions,
     walk_statements,

@@ -10,7 +10,7 @@ analysis passes traverse them with :func:`walk_statements` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 
 # ---------------------------------------------------------------------- #

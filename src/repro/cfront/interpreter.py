@@ -307,7 +307,11 @@ class CInterpreter:
             elif decl.init is not None:
                 env[decl.name] = self._store_coerce(self._eval(decl.init, env), ctype)
             else:
-                env[decl.name] = Pointer(Buffer([], name=decl.name), 0) if ctype.is_pointer else self._zero(ctype)
+                env[decl.name] = (
+                    Pointer(Buffer([], name=decl.name), 0)
+                    if ctype.is_pointer
+                    else self._zero(ctype)
+                )
 
     def _zero(self, ctype: CType) -> Number:
         if self._mode == "exact" and ctype.is_floating:
@@ -398,9 +402,11 @@ class CInterpreter:
 
     def _eval_binary(self, expr: BinaryOp, env: Dict[str, Value]) -> Value:
         if expr.op == "&&":
-            return 1 if (self._truthy(self._eval(expr.left, env)) and self._truthy(self._eval(expr.right, env))) else 0
+            left_true = self._truthy(self._eval(expr.left, env))
+            return 1 if (left_true and self._truthy(self._eval(expr.right, env))) else 0
         if expr.op == "||":
-            return 1 if (self._truthy(self._eval(expr.left, env)) or self._truthy(self._eval(expr.right, env))) else 0
+            left_true = self._truthy(self._eval(expr.left, env))
+            return 1 if (left_true or self._truthy(self._eval(expr.right, env))) else 0
         if expr.op == ",":
             self._eval(expr.left, env)
             return self._eval(expr.right, env)
@@ -552,7 +558,9 @@ class CInterpreter:
             return value
         if ctype.base == "int" and not ctype.is_pointer:
             if isinstance(value, Fraction):
-                return int(value) if value.denominator == 1 else int(value.numerator // value.denominator)
+                if value.denominator == 1:
+                    return int(value)
+                return int(value.numerator // value.denominator)
             if isinstance(value, float):
                 return int(value)
             return int(value)

@@ -48,7 +48,9 @@ from .ast import (
 from .errors import CSyntaxError
 from .lexer import CToken, CTokenKind, tokenize
 
-_TYPE_KEYWORDS = {"int", "float", "double", "void", "long", "short", "char", "unsigned", "signed", "const"}
+_TYPE_KEYWORDS = {
+    "int", "float", "double", "void", "long", "short", "char", "unsigned", "signed", "const",
+}
 _BASE_TYPES = {"int", "float", "double", "void", "long", "short", "char"}
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
 
@@ -353,7 +355,8 @@ class _Parser:
             operand = self._parse_unary()
             return IncDec(tok.text, operand, is_prefix=True)
         # Cast: "(" type ... ")" unary
-        if tok.text == "(" and self._peek(1).kind is CTokenKind.KEYWORD and self._peek(1).text in _TYPE_KEYWORDS:
+        if (tok.text == "(" and self._peek(1).kind is CTokenKind.KEYWORD
+                and self._peek(1).text in _TYPE_KEYWORDS):
             self._advance()
             ctype = self._parse_type()
             self._expect(")")

@@ -27,6 +27,13 @@ The CLI exposes the library's main entry points without writing any Python:
 ``python -m repro submit <name-or-file.c>``
     Submit one lift to a running service and (by default) wait for the
     result.
+``python -m repro bench``
+    Run the candidate-throughput microbenchmarks and write a
+    ``BENCH_<tag>.json`` trajectory record (``--trajectory`` prints the
+    committed history instead).
+``python -m repro gate``
+    Evaluate the canonical perf-gate registry against a record (human
+    table, ``--json``, or ``--markdown``); the exit code is the verdict.
 
 ``lift`` and ``evaluate`` accept ``--cache-dir`` to read and write the same
 result store the service uses, so repeated lifts and warm-cache corpus
@@ -43,8 +50,9 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from .bench.runner import add_bench_arguments
 from .core.task import InputSpec, LiftingTask
 from .lifting import (
     PrintObserver,
@@ -63,7 +71,6 @@ from .evaluation import (
     figure12,
     format_table,
     grammar_ablation_methods,
-    method_metrics,
     methods_by_name,
     penalty_ablation_methods,
     save_csv,
@@ -82,13 +89,7 @@ from .llm import (
     StaticOracle,
     SyntheticOracle,
 )
-from .suite import (
-    all_benchmarks,
-    benchmarks_by_category,
-    corpus_statistics,
-    get_benchmark,
-    select,
-)
+from .suite import corpus_statistics, get_benchmark, select
 from .taco import to_c_source, to_numpy_source
 
 
@@ -292,6 +293,50 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--wait", type=float, default=120.0,
         help="seconds to wait for the result (with the default blocking mode)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the perf microbenchmarks and write a BENCH_<tag>.json record",
+    )
+    add_bench_arguments(bench)
+
+    gate = subparsers.add_parser(
+        "gate",
+        help="evaluate the perf-gate registry against a BENCH record "
+        "(exit code = verdict)",
+    )
+    gate.add_argument(
+        "--record", required=True,
+        help="record to gate: a path to a BENCH JSON file, or a bare tag "
+        "resolved as BENCH_<tag>.json at the repo root",
+    )
+    gate.add_argument(
+        "--baseline", default=None,
+        help="committed trajectory tag to compare against (adds noise-aware "
+        "regression checks over the throughput metrics)",
+    )
+    gate.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed relative drop (percent) before a baseline comparison "
+        "counts as a regression (default: repro.bench.DEFAULT_TOLERANCE_PCT)",
+    )
+    gate.add_argument(
+        "--json", action="store_true",
+        help="print the verdict as JSON instead of the human table",
+    )
+    gate.add_argument(
+        "--markdown", action="store_true",
+        help="print the verdict as GitHub-flavoured Markdown (for CI step "
+        "summaries) instead of the human table",
+    )
+    gate.add_argument(
+        "--strict", action="store_true",
+        help="treat skipped gates (missing record sections) as failures",
+    )
+    gate.add_argument(
+        "--root", default=None,
+        help="directory holding BENCH_*.json records (default: the repo root)",
     )
 
     return parser
@@ -729,6 +774,54 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# bench / gate: the benchmark & regression engine
+# ---------------------------------------------------------------------- #
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.runner import run_from_args
+
+    return run_from_args(args)
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    from .bench import (
+        BenchRecord,
+        BenchSchemaError,
+        evaluate_gates,
+        find_record,
+        render_json,
+        render_markdown,
+        render_table,
+    )
+    from .bench.runner import REPO_ROOT
+
+    root = Path(args.root) if args.root else REPO_ROOT
+    path = Path(args.record)
+    try:
+        if path.suffix == ".json" or path.exists():
+            record = BenchRecord.from_path(path)
+        else:
+            record = find_record(root, args.record)
+        baseline = find_record(root, args.baseline) if args.baseline else None
+    except (FileNotFoundError, BenchSchemaError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        report = evaluate_gates(
+            record, baseline=baseline, tolerance_pct=args.tolerance
+        )
+    except ValueError as error:  # e.g. quick-vs-full scope mismatch
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(report, strict=args.strict))
+    elif args.markdown:
+        print(render_markdown(report, strict=args.strict))
+    else:
+        print(render_table(report, strict=args.strict))
+    return report.exit_code(strict=args.strict)
+
+
+# ---------------------------------------------------------------------- #
 # Entry point
 # ---------------------------------------------------------------------- #
 _COMMANDS = {
@@ -739,6 +832,8 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "bench": _cmd_bench,
+    "gate": _cmd_gate,
 }
 
 

@@ -19,7 +19,7 @@ plus the penalty-dropping variants of Table 2 (``Drop(A)``, ``Drop(a1)``,
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict
 
 from .jsonutil import jsonable
 from .penalties import BOTTOMUP_CRITERIA, PenaltyConfig, TOPDOWN_CRITERIA

@@ -15,7 +15,7 @@ This module implements the first two.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..grammars import (
     NonTerminal,

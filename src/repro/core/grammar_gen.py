@@ -21,10 +21,10 @@ The ``FullGrammar`` and ``LLMGrammar`` ablations of the evaluation use the
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from ..grammars import ContextFreeGrammar, NonTerminal, Production
-from ..taco import TacoProgram, TensorAccess
+from ..taco import TensorAccess
 from ..taco.grammar import (
     CANONICAL_INDEX_VARIABLES,
     CANONICAL_TENSOR_NAMES,
@@ -227,7 +227,9 @@ def full_bottomup_template_grammar(
     Every position may hold any tensor of any rank up to *max_rank*; this is
     the bottom-up analogue of :func:`full_template_grammar`.
     """
-    index_pool = CANONICAL_INDEX_VARIABLES[: max(1, min(num_indices, len(CANONICAL_INDEX_VARIABLES)))]
+    index_pool = CANONICAL_INDEX_VARIABLES[
+        : max(1, min(num_indices, len(CANONICAL_INDEX_VARIABLES)))
+    ]
     productions: List[Production] = [
         Production(NT_PROGRAM, (NT_TENSOR1, "=", NT_EXPR)),
         Production(NT_TENSOR1, (_lhs_token(lhs_rank),)),
@@ -271,7 +273,9 @@ def full_template_grammar(
     index variables — the search space the paper's ``FullGrammar`` ablation
     pays for (hundreds of enumeration attempts per query).
     """
-    index_pool = CANONICAL_INDEX_VARIABLES[: max(1, min(num_indices, len(CANONICAL_INDEX_VARIABLES)))]
+    index_pool = CANONICAL_INDEX_VARIABLES[
+        : max(1, min(num_indices, len(CANONICAL_INDEX_VARIABLES)))
+    ]
     productions: List[Production] = [
         Production(NT_PROGRAM, (NT_TENSOR1, "=", NT_EXPR)),
         Production(NT_TENSOR1, (_lhs_token(lhs_rank),)),

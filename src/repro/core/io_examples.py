@@ -18,7 +18,7 @@ import numpy as np
 
 from ..cfront import CInterpreter, FunctionDef
 from ..cfront.analysis import ArgumentKind, OutputKind, SignatureInfo, analyze_signature
-from .task import InputSpec, LiftingTask
+from .task import LiftingTask
 
 #: Default value range for randomly generated tensor elements.  Small odd
 #: numbers keep products distinguishable while avoiding overflow concerns.
@@ -134,7 +134,8 @@ class IOExampleGenerator:
 
         output_name = self._signature.output_argument
         if self._signature.output_kind is OutputKind.RETURN or output_name is None:
-            output: Union[int, Fraction, np.ndarray] = result.return_value  # type: ignore[assignment]
+            output: Union[int, Fraction, np.ndarray]
+            output = result.return_value  # type: ignore[assignment]
             output_name = None
         else:
             shape = spec.resolve_shape(output_name, concrete_sizes)

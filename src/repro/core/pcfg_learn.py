@@ -30,7 +30,6 @@ from ..taco import (
     Constant,
     Expression,
     SymbolicConstant,
-    TacoProgram,
     TensorAccess,
     UnaryOp,
 )

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import math
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..grammars import Symbol, is_terminal
 from ..taco.grammar import CONST_TOKEN, OPERATOR_TOKENS

@@ -8,7 +8,7 @@ import threading
 import time
 import warnings
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ..taco import TacoProgram

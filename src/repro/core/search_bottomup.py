@@ -18,7 +18,6 @@ import math
 from typing import List, Optional, Tuple
 
 from ..grammars import DerivationTree, ProbabilisticGrammar, Symbol, is_nonterminal
-from ..taco import TacoProgram
 from ..taco.errors import TacoError
 from ..taco.parser import parse_program
 from .costs import BottomUpCostModel, count_rhs_tensors

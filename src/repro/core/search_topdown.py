@@ -19,7 +19,6 @@ import math
 from typing import Optional
 
 from ..grammars import DerivationTree, ProbabilisticGrammar, is_nonterminal
-from ..taco import TacoProgram
 from ..taco.errors import TacoError
 from ..taco.printer import from_tokens
 from .costs import TopDownCostModel

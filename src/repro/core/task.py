@@ -12,7 +12,7 @@ itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Mapping, Optional, Tuple, Union
 
 from ..cfront import FunctionDef, parse_function
 

@@ -20,9 +20,8 @@ enumeration instead of SAT/SMT solving; DESIGN.md documents the substitution.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -169,7 +168,8 @@ class BoundedEquivalenceChecker:
             for name, count in zip(names, counts):
                 chunk = list(assignment[cursor : cursor + count])
                 cursor += count
-                fixed[name] = chunk if count > 1 or name not in self._signature.scalars() else chunk[0]
+                is_scalar = count == 1 and name in self._signature.scalars()
+                fixed[name] = chunk[0] if is_scalar else chunk
             try:
                 yield self._generator.generate_one(sizes=sizes, values=fixed)
             except CRuntimeError:

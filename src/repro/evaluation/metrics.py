@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .runner import EvaluationResult, RunRecord
+from .runner import EvaluationResult
 
 
 @dataclass(frozen=True)

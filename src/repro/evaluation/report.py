@@ -5,12 +5,12 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from .figures import cactus_series, success_rates
 from .metrics import all_method_metrics, headline_metrics
 from .runner import EvaluationResult
-from .tables import format_table, table1, table2, table3
+from .tables import format_table
 
 
 def records_as_rows(result: EvaluationResult) -> List[Dict[str, object]]:

@@ -21,7 +21,6 @@ keep ``workers`` at or below the core count for comparable sweeps.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,13 +29,14 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
 from ..lifting import (
-    BASELINE_CANDIDATE_BUDGET,
     GRAMMAR_ABLATION_METHODS,
     PENALTY_ABLATION_METHODS,
     STANDARD_METHODS,
+    resolve_methods,
+)
+from ..lifting import (  # noqa: F401  (re-exported via repro.evaluation)
     default_limits,
     default_verifier_config,
-    resolve_methods,
 )
 from ..llm import LLMOracle
 from ..suite import Benchmark

@@ -29,7 +29,7 @@ forms and infinite-penalty forms before paying for node construction.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .cfg import (
     ContextFreeGrammar,
@@ -38,7 +38,6 @@ from .cfg import (
     Production,
     Symbol,
     is_nonterminal,
-    is_terminal,
 )
 
 

@@ -10,7 +10,7 @@ derivations of the LLM's candidate solutions and then normalizes them here
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping
 
 from .cfg import (
     ContextFreeGrammar,

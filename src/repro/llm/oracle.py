@@ -10,7 +10,7 @@ response cache, or the synthetic oracle used in this reproduction.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..taco import TacoProgram

@@ -40,7 +40,7 @@ from __future__ import annotations
 import hashlib
 import random
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..taco import (
     BinOp,

@@ -16,7 +16,7 @@ argument names so that the resulting kernels read like their namesakes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

@@ -18,7 +18,6 @@ from .kernels import (
     matvec,
     outer_product,
     scalar_1d,
-    scalar_2d,
 )
 from .model import Benchmark
 

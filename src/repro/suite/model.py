@@ -8,8 +8,8 @@ cross-check both the C interpreter and the ground-truth TACO expression.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 

@@ -13,10 +13,8 @@ from .kernels import (
     constant_1d,
     copy_1d,
     elementwise_1d,
-    elementwise_2d,
     row_sums,
     scalar_1d,
-    scalar_2d,
     sum_1d,
     sum_2d,
     ternary_elementwise_1d,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Iterator, List
+from typing import List
 
 from .errors import TacoSyntaxError
 

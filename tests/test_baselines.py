@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import C2TacoLifter, LLMOnlyLifter, TenspilerLifter
 from repro.core import VerifierConfig

@@ -1,0 +1,235 @@
+"""Gate and trajectory tests: verdicts, the canonical registry, regressions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_TOLERANCE_PCT,
+    BenchRecord,
+    Gate,
+    detect_regressions,
+    discover_records,
+    evaluate_gates,
+    find_record,
+    registered_gates,
+    render_json,
+    render_markdown,
+    render_table,
+)
+from repro.bench.runner import REPO_ROOT
+from repro.evaluation.perf import PORTFOLIO_GATE_RATIO
+
+
+def _record(speedup=4.0, portfolio=None):
+    data = {
+        "schema": "repro-perf-v1",
+        "scope": "quick",
+        "kernels": ["blend.add_pixels"],
+        "validator": {
+            "tiered_cached": {
+                "candidates": 100, "seconds": 0.1, "candidates_per_sec": 1000.0,
+            },
+            "seed_reference": {
+                "candidates": 100, "seconds": 0.4, "candidates_per_sec": 250.0,
+            },
+            "speedup": speedup,
+        },
+        "search": {
+            "topdown": {
+                "nodes": 10, "duplicates_pruned": 2, "seconds": 0.1, "nodes_per_sec": 100.0,
+            },
+            "bottomup": {
+                "nodes": 10, "duplicates_pruned": 0, "seconds": 0.1, "nodes_per_sec": 100.0,
+            },
+        },
+        "tag": "test",
+    }
+    if portfolio is not None:
+        data["portfolio"] = portfolio
+    return BenchRecord.from_dict(data)
+
+
+def _portfolio_section(ratio=0.9, solved=3, member_solved=2, gate_ratio=1.25):
+    member = {
+        "seconds": 2.0, "solved": member_solved, "per_kernel_seconds": {"k": 2.0},
+    }
+    return {
+        "spec": "Portfolio(A,B)",
+        "kernels": ["k"],
+        "timeout_seconds": 5.0,
+        "members": {"A": dict(member), "B": dict(member)},
+        "portfolio": {
+            "seconds": 2.0 * ratio, "solved": solved, "per_kernel_seconds": {"k": 1.8},
+        },
+        "fastest_member": "A",
+        "fastest_member_seconds": 2.0,
+        "wallclock_ratio": ratio,
+        "gate_ratio": gate_ratio,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# The canonical registry
+# ---------------------------------------------------------------------- #
+def test_canonical_registry_contents():
+    ids = [gate.gate_id for gate in registered_gates()]
+    assert ids[:3] == [
+        "validator-speedup", "portfolio-wallclock", "portfolio-solves-best",
+    ]
+
+
+def test_gate_ratio_single_source_of_truth():
+    # The ratio embedded in records by the measurement harness is the same
+    # constant the gate registry documents — they can never drift apart.
+    from repro.bench.gates import PORTFOLIO_GATE_RATIO as registry_ratio
+
+    assert registry_ratio == PORTFOLIO_GATE_RATIO
+
+
+def test_committed_pr3_verdict_reproduced():
+    # The old pr3-gate CI job asserted validator.speedup >= 3x; the record
+    # predates the portfolio engine, so the portfolio gates must skip.
+    report = evaluate_gates(BenchRecord.from_path(REPO_ROOT / "BENCH_pr3.json"))
+    assert report.passed()
+    by_id = {result.gate.gate_id: result for result in report.results}
+    assert by_id["validator-speedup"].status == "pass"
+    assert by_id["portfolio-wallclock"].status == "skip"
+    assert by_id["portfolio-solves-best"].status == "skip"
+    # Strict mode flags the incomplete record.
+    assert not report.passed(strict=True)
+    assert report.exit_code() == 0
+    assert report.exit_code(strict=True) == 1
+
+
+def test_committed_pr4_verdict_reproduced():
+    # The old pr4-gate CI job asserted speedup >= 3x, wallclock_ratio <=
+    # gate_ratio, and solved >= best member — all three as real gates now.
+    report = evaluate_gates(BenchRecord.from_path(REPO_ROOT / "BENCH_pr4.json"))
+    assert report.passed(strict=True)
+    assert all(result.status == "pass" for result in report.results)
+
+
+def test_committed_pr5_all_gates_pass_strict():
+    report = evaluate_gates(BenchRecord.from_path(REPO_ROOT / "BENCH_pr5.json"))
+    assert report.passed(strict=True)
+    assert not report.skipped
+
+
+# ---------------------------------------------------------------------- #
+# Gate verdict mechanics
+# ---------------------------------------------------------------------- #
+def test_gate_fail_verdict():
+    report = evaluate_gates(_record(speedup=2.5))
+    by_id = {result.gate.gate_id: result for result in report.results}
+    assert by_id["validator-speedup"].status == "fail"
+    assert not report.passed()
+    assert report.exit_code() == 1
+
+
+def test_portfolio_gates_pass_and_fail():
+    passing = evaluate_gates(_record(portfolio=_portfolio_section()))
+    assert passing.passed(strict=True)
+
+    too_slow = evaluate_gates(
+        _record(portfolio=_portfolio_section(ratio=1.5))
+    )
+    assert [r.gate.gate_id for r in too_slow.failed] == ["portfolio-wallclock"]
+
+    solves_fewer = evaluate_gates(
+        _record(portfolio=_portfolio_section(solved=1, member_solved=2))
+    )
+    assert [r.gate.gate_id for r in solves_fewer.failed] == ["portfolio-solves-best"]
+
+
+def test_threshold_ref_reads_the_record():
+    # A record with a looser embedded gate_ratio is judged by its own bar.
+    report = evaluate_gates(
+        _record(portfolio=_portfolio_section(ratio=1.5, gate_ratio=2.0))
+    )
+    assert report.passed(strict=True)
+
+
+def test_gate_requires_exactly_one_threshold_kind():
+    with pytest.raises(ValueError):
+        Gate(gate_id="g", metric="m", op=">=")
+    with pytest.raises(ValueError):
+        Gate(gate_id="g", metric="m", op=">=", threshold=1.0, threshold_ref="x")
+    with pytest.raises(ValueError):
+        Gate(gate_id="g", metric="m", op="==", threshold=1.0)
+
+
+def test_custom_gate_evaluation_and_missing_metric():
+    gate = Gate(
+        gate_id="dup-pruning", metric="search.topdown.duplicates_pruned",
+        op=">=", threshold=1.0,
+    )
+    assert gate.evaluate(_record()).status == "pass"
+    missing = Gate(gate_id="m", metric="store.hits", op=">=", threshold=1.0)
+    assert missing.evaluate(_record()).status == "skip"
+
+
+# ---------------------------------------------------------------------- #
+# Trajectory discovery and regression detection
+# ---------------------------------------------------------------------- #
+def test_discover_records_orders_by_tag():
+    records = discover_records(REPO_ROOT)
+    tags = [record.tag for record in records]
+    assert tags == sorted(tags, key=lambda t: int(t.lstrip("pr")))
+    assert "pr5" in tags
+
+
+def test_find_record_unknown_tag_lists_available():
+    with pytest.raises(FileNotFoundError, match="pr1"):
+        find_record(REPO_ROOT, "nope")
+
+
+def test_regression_detection_noise_tolerance():
+    baseline = _record(speedup=4.0)
+    wobbling = _record(speedup=4.0 * (1 - (DEFAULT_TOLERANCE_PCT - 5) / 100))
+    regressed = _record(speedup=4.0 * (1 - (DEFAULT_TOLERANCE_PCT + 5) / 100))
+    assert not any(f.regressed for f in detect_regressions(baseline, wobbling))
+    findings = detect_regressions(baseline, regressed)
+    assert any(
+        f.regressed and f.metric == "validator.speedup" for f in findings
+    )
+
+
+def test_cross_scope_comparison_refused():
+    quick = _record()
+    full = BenchRecord.from_dict(dict(quick.to_dict(), scope="full"))
+    with pytest.raises(ValueError, match="like scopes"):
+        detect_regressions(quick, full)
+
+
+def test_regressions_fail_the_gate_report():
+    baseline = _record(speedup=8.0)
+    report = evaluate_gates(_record(speedup=3.5), baseline=baseline)
+    # 3.5 is above the 3x gate but far below baseline-with-tolerance.
+    assert all(result.status != "fail" for result in report.results)
+    assert not report.passed()
+
+
+# ---------------------------------------------------------------------- #
+# Rendering
+# ---------------------------------------------------------------------- #
+def test_render_table_shows_verdicts():
+    table = render_table(evaluate_gates(_record(speedup=2.0)))
+    assert "validator-speedup" in table
+    assert "FAIL" in table
+
+
+def test_render_markdown_is_a_table():
+    markdown = render_markdown(evaluate_gates(_record()))
+    assert markdown.splitlines()[2].startswith("| gate |")
+    assert "validator.speedup" in markdown
+
+
+def test_render_json_round_trips():
+    payload = json.loads(render_json(evaluate_gates(_record(speedup=2.0))))
+    assert payload["passed"] is False
+    gates = {entry["gate"]: entry for entry in payload["gates"]}
+    assert gates["validator-speedup"]["status"] == "fail"
+    assert gates["portfolio-wallclock"]["status"] == "skip"

@@ -1,0 +1,149 @@
+"""Schema tests: every committed BENCH record round-trips byte-identically.
+
+The round-trip guarantee is what makes the trajectory durable: the moment
+the measurement harness renames a field, either ``BenchRecord.from_dict``
+rejects the new record or the committed baselines stop round-tripping —
+both fail here, on the PR that drifted, not three PRs later in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchRecord, BenchSchemaError
+from repro.bench.runner import REPO_ROOT
+
+COMMITTED = sorted(REPO_ROOT.glob("BENCH_pr*.json"))
+
+
+def _minimal_record(**overrides):
+    data = {
+        "schema": "repro-perf-v1",
+        "scope": "quick",
+        "kernels": ["blend.add_pixels"],
+        "validator": {
+            "tiered_cached": {
+                "candidates": 100, "seconds": 0.1, "candidates_per_sec": 1000.0,
+            },
+            "seed_reference": {
+                "candidates": 100, "seconds": 0.4, "candidates_per_sec": 250.0,
+            },
+            "speedup": 4.0,
+        },
+        "search": {
+            "topdown": {
+                "nodes": 10, "duplicates_pruned": 2, "seconds": 0.1, "nodes_per_sec": 100.0,
+            },
+            "bottomup": {
+                "nodes": 10, "duplicates_pruned": 0, "seconds": 0.1, "nodes_per_sec": 100.0,
+            },
+        },
+    }
+    data.update(overrides)
+    return data
+
+
+def test_committed_trajectory_present():
+    # The PR-5 acceptance record must exist alongside the earlier baselines.
+    tags = [path.name for path in COMMITTED]
+    assert "BENCH_pr1.json" in tags
+    assert "BENCH_pr3.json" in tags
+    assert "BENCH_pr4.json" in tags
+    assert "BENCH_pr5.json" in tags
+
+
+@pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.name)
+def test_committed_records_round_trip(path: Path):
+    original = json.loads(path.read_text())
+    record = BenchRecord.from_path(path)
+    assert record.to_dict() == original
+    # A second load/dump cycle is also stable.
+    assert BenchRecord.from_dict(record.to_dict()).to_dict() == original
+
+
+@pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.name)
+def test_committed_records_tagged(path: Path):
+    record = BenchRecord.from_path(path)
+    expected = path.name[len("BENCH_"):-len(".json")]
+    assert record.tag == expected
+
+
+def test_pr5_record_carries_provenance():
+    record = BenchRecord.from_path(REPO_ROOT / "BENCH_pr5.json")
+    assert record.tag == "pr5"
+    assert record.git_sha  # stamped by `repro bench` since PR 5
+    assert record.portfolio is not None  # committed baselines keep the full record
+
+
+def test_tag_falls_back_to_file_name(tmp_path):
+    path = tmp_path / "BENCH_mytag.json"
+    path.write_text(json.dumps(_minimal_record()))
+    assert BenchRecord.from_path(path).tag == "mytag"
+    # An in-record tag wins over the file name.
+    path.write_text(json.dumps(_minimal_record(tag="other")))
+    assert BenchRecord.from_path(path).tag == "other"
+
+
+def test_missing_field_is_rejected_with_path():
+    data = _minimal_record()
+    del data["validator"]["speedup"]
+    with pytest.raises(BenchSchemaError, match="validator.*speedup"):
+        BenchRecord.from_dict(data)
+
+
+def test_renamed_field_is_rejected():
+    # The drift scenario: a rename shows up as missing + unknown.
+    data = _minimal_record()
+    data["validator"]["speed_up"] = data["validator"].pop("speedup")
+    with pytest.raises(BenchSchemaError):
+        BenchRecord.from_dict(data)
+
+
+def test_unknown_toplevel_field_is_rejected():
+    with pytest.raises(BenchSchemaError, match="unknown field"):
+        BenchRecord.from_dict(_minimal_record(extra_section={}))
+
+
+def test_wrong_type_is_rejected():
+    data = _minimal_record()
+    data["validator"]["speedup"] = "4.0"
+    with pytest.raises(BenchSchemaError, match="number"):
+        BenchRecord.from_dict(data)
+
+
+def test_wrong_schema_version_is_rejected():
+    with pytest.raises(BenchSchemaError, match="repro-perf-v1"):
+        BenchRecord.from_dict(_minimal_record(schema="repro-perf-v999"))
+
+
+def test_invalid_json_is_reported_with_file(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchSchemaError, match="BENCH_bad.json"):
+        BenchRecord.from_path(path)
+
+
+def test_metric_paths_and_derived_aliases():
+    record = BenchRecord.from_path(REPO_ROOT / "BENCH_pr4.json")
+    assert record.metric("validator.speedup") == record.validator.speedup
+    assert (
+        record.metric("search.topdown.nodes_per_sec")
+        == record.search.topdown.nodes_per_sec
+    )
+    assert record.metric("portfolio.solved") == record.portfolio.portfolio.solved
+    assert (
+        record.metric("portfolio.best_member_solved")
+        == record.portfolio.best_member_solved
+    )
+    with pytest.raises(KeyError):
+        record.metric("validator.warp_factor")
+
+
+def test_metric_on_missing_portfolio_section():
+    record = BenchRecord.from_dict(_minimal_record())
+    assert not record.has_section("portfolio")
+    with pytest.raises(KeyError):
+        record.metric("portfolio.solved")

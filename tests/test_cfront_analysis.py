@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cfront import parse_function
 from repro.cfront.analysis import (
@@ -24,7 +23,8 @@ from repro.cfront.parser import parse_function as parse
 class TestLoopAnalysis:
     def test_for_loop_induction_variables(self):
         fn = parse_function(
-            "void f(int n, int *a) { for (int i = 0; i < n; i++) for (int j = 0; j < n; j++) a[i] = j; }"
+            "void f(int n, int *a) { for (int i = 0; i < n; i++) "
+            "for (int j = 0; j < n; j++) a[i] = j; }"
         )
         nest = analyze_loops(fn)
         assert nest.induction_variables() == ("i", "j")
@@ -71,7 +71,8 @@ class TestPointerAnalysis:
 class TestDelinearization:
     def _index_expr(self, source_index: str):
         fn = parse(
-            f"void f(int N, int M, int K, int i, int j, int k, int *A, int *out) {{ *out = A[{source_index}]; }}"
+            f"void f(int N, int M, int K, int i, int j, int k, int *A, int *out) "
+            f"{{ *out = A[{source_index}]; }}"
         )
         # Extract the index expression of the subscript access.
         from repro.cfront.ast import ArrayIndex, walk_expressions
@@ -117,7 +118,8 @@ class TestSignature:
 
     def test_return_value_output(self):
         fn = parse_function(
-            "int total(int n, int *a) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+            "int total(int n, int *a) "
+            "{ int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
         )
         signature = analyze_signature(fn)
         assert signature.output_kind is OutputKind.RETURN
@@ -169,7 +171,8 @@ class TestDimensionPrediction:
     def test_index_temporary_sees_through(self):
         fn = parse_function(
             "void f(int d0, int d1, int d2, float *T, float *out) {"
-            " for (int i = 0; i < d0; i++) for (int j = 0; j < d1; j++) for (int k = 0; k < d2; k++) {"
+            " for (int i = 0; i < d0; i++) for (int j = 0; j < d1; j++) "
+            "for (int k = 0; k < d2; k++) {"
             "   int idx = (i * d1 + j) * d2 + k; out[idx] = T[idx]; } }"
         )
         assert predict_output_rank(fn) == 3

@@ -204,7 +204,10 @@ class TestInterpreterProperties:
             " for (int i = 0; i < n; i++) *po++ = *pa++ * *pb++; }"
         )
         args = lambda: {"n": n, "a": list(a), "b": list(b), "out": [0] * n}  # noqa: E731
-        assert run_function(subscript, args()).array("out") == run_function(pointer, args()).array("out")
+        assert (
+            run_function(subscript, args()).array("out")
+            == run_function(pointer, args()).array("out")
+        )
 
     @given(
         n=st.integers(min_value=1, max_value=5),

@@ -133,7 +133,7 @@ class TestServiceCommands:
 
 
 # ---------------------------------------------------------------------- #
-# scripts/bench.py: baseline-overwrite guard
+# scripts/bench.py: the shim over repro.bench.runner
 # ---------------------------------------------------------------------- #
 def _load_bench_module():
     path = Path(__file__).resolve().parent.parent / "scripts" / "bench.py"
@@ -143,18 +143,35 @@ def _load_bench_module():
     return module
 
 
-#: Minimal portfolio section matching the BENCH record schema, for bench.py
-#: summary-printing stubs (the real measurement is exercised elsewhere).
-_FAKE_PORTFOLIO = {
-    "spec": "Portfolio(STAGG_TD,STAGG_BU)",
-    "members": {
-        "STAGG_TD": {"seconds": 1.0, "solved": 1},
-        "STAGG_BU": {"seconds": 2.0, "solved": 1},
-    },
-    "portfolio": {"seconds": 1.0, "solved": 1},
-    "fastest_member": "STAGG_TD",
-    "wallclock_ratio": 1.0,
-}
+def _fake_suite_record(include_portfolio=True):
+    """A schema-valid record (run_bench validates before writing)."""
+    measurement = {"candidates": 10, "seconds": 0.1, "candidates_per_sec": 100.0}
+    search = {"nodes": 5, "duplicates_pruned": 1, "seconds": 0.1, "nodes_per_sec": 50.0}
+    record = {
+        "schema": "repro-perf-v1",
+        "scope": "quick",
+        "kernels": ["blend.add_pixels"],
+        "validator": {
+            "tiered_cached": dict(measurement),
+            "seed_reference": dict(measurement),
+            "speedup": 1.0,
+        },
+        "search": {"topdown": dict(search), "bottomup": dict(search)},
+    }
+    if include_portfolio:
+        member = {"seconds": 1.0, "solved": 1, "per_kernel_seconds": {"k": 1.0}}
+        record["portfolio"] = {
+            "spec": "Portfolio(STAGG_TD,STAGG_BU)",
+            "kernels": ["k"],
+            "timeout_seconds": 5.0,
+            "members": {"STAGG_TD": dict(member), "STAGG_BU": dict(member)},
+            "portfolio": dict(member),
+            "fastest_member": "STAGG_TD",
+            "fastest_member_seconds": 1.0,
+            "wallclock_ratio": 1.0,
+            "gate_ratio": 1.25,
+        }
+    return record
 
 
 class TestBenchOverwriteGuard:
@@ -162,7 +179,7 @@ class TestBenchOverwriteGuard:
         bench = _load_bench_module()
         calls = []
         monkeypatch.setattr(
-            bench, "write_perf_record", lambda *a, **k: calls.append(a)
+            "repro.evaluation.perf.run_perf_suite", lambda *a, **k: calls.append(a)
         )
         output = tmp_path / "BENCH_pr1.json"
         output.write_text(json.dumps({"prior": "baseline"}))
@@ -174,48 +191,20 @@ class TestBenchOverwriteGuard:
 
     def test_force_overwrites(self, tmp_path, monkeypatch, capsys):
         bench = _load_bench_module()
-
-        def fake_write(path, scope, include_portfolio=True):
-            Path(path).write_text("{}")
-            return {
-                "validator": {
-                    "tiered_cached": {"candidates_per_sec": 1.0},
-                    "seed_reference": {"candidates_per_sec": 1.0},
-                    "speedup": 1.0,
-                },
-                "search": {
-                    "topdown": {"nodes_per_sec": 1.0},
-                    "bottomup": {"nodes_per_sec": 1.0},
-                },
-                "portfolio": _FAKE_PORTFOLIO,
-            }
-
-        monkeypatch.setattr(bench, "write_perf_record", fake_write)
+        monkeypatch.setattr(
+            "repro.evaluation.perf.run_perf_suite",
+            lambda **kwargs: _fake_suite_record(),
+        )
         output = tmp_path / "BENCH_pr1.json"
         output.write_text(json.dumps({"prior": "baseline"}))
         assert bench.main(["--output", str(output), "--force"]) == 0
-        assert output.read_text() == "{}"
+        assert json.loads(output.read_text())["schema"] == "repro-perf-v1"
 
     def test_fresh_tag_writes_without_force(self, tmp_path, monkeypatch):
         bench = _load_bench_module()
         monkeypatch.setattr(
-            bench,
-            "write_perf_record",
-            lambda path, scope, include_portfolio=True: (
-                Path(path).write_text("{}"),
-                {
-                    "validator": {
-                        "tiered_cached": {"candidates_per_sec": 1.0},
-                        "seed_reference": {"candidates_per_sec": 1.0},
-                        "speedup": 1.0,
-                    },
-                    "search": {
-                        "topdown": {"nodes_per_sec": 1.0},
-                        "bottomup": {"nodes_per_sec": 1.0},
-                    },
-                    "portfolio": _FAKE_PORTFOLIO,
-                },
-            )[1],
+            "repro.evaluation.perf.run_perf_suite",
+            lambda **kwargs: _fake_suite_record(),
         )
         output = tmp_path / "BENCH_fresh.json"
         assert bench.main(["--output", str(output)]) == 0
@@ -227,25 +216,19 @@ class TestBenchOverwriteGuard:
         bench = _load_bench_module()
         seen = {}
 
-        def fake_write(path, scope, include_portfolio=True):
+        def fake_suite(scope="quick", include_portfolio=True, **kwargs):
             seen["include_portfolio"] = include_portfolio
-            Path(path).write_text("{}")
             # No "portfolio" key, matching run_perf_suite's omission.
-            return {
-                "validator": {
-                    "tiered_cached": {"candidates_per_sec": 1.0},
-                    "seed_reference": {"candidates_per_sec": 1.0},
-                    "speedup": 1.0,
-                },
-                "search": {
-                    "topdown": {"nodes_per_sec": 1.0},
-                    "bottomup": {"nodes_per_sec": 1.0},
-                },
-            }
+            return _fake_suite_record(include_portfolio=False)
 
-        monkeypatch.setattr(bench, "write_perf_record", fake_write)
+        monkeypatch.setattr("repro.evaluation.perf.run_perf_suite", fake_suite)
         output = tmp_path / "BENCH_fresh.json"
         assert bench.main(["--output", str(output), "--no-portfolio"]) == 0
         assert seen["include_portfolio"] is False
         out = capsys.readouterr().out
         assert not any(line.startswith("portfolio") for line in out.splitlines())
+
+    def test_shim_shares_the_runner_entry_point(self):
+        import repro.bench.runner as runner
+
+        assert _load_bench_module().main is runner.main

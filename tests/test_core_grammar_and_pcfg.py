@@ -14,7 +14,7 @@ from repro.core.pcfg_learn import learn_pcfg, learn_weights, operator_weights
 from repro.core.templates import templatize_all
 from repro.grammars import NonTerminal, derivable_nonterminals, ProbabilisticGrammar
 from repro.taco import parse_program
-from repro.taco.grammar import NT_EXPR, NT_OP, NT_TENSOR, NT_TENSOR1
+from repro.taco.grammar import NT_OP, NT_TENSOR, NT_TENSOR1
 
 
 def _templates(sources):
@@ -86,7 +86,9 @@ class TestBottomUpGrammar:
         assert any(p.is_epsilon for p in grammar.productions_for(tail1))
 
     def test_positions_respect_ranks(self):
-        grammar = bottomup_template_grammar((0, 1, 2, 1), 3, _templates(["a = b(i) * c(i,j) * d(j)"]))
+        grammar = bottomup_template_grammar(
+            (0, 1, 2, 1), 3, _templates(["a = b(i) * c(i,j) * d(j)"])
+        )
         t2 = {p.rhs[0] for p in grammar.productions_for(NonTerminal("TENSOR2"))}
         t3 = {p.rhs[0] for p in grammar.productions_for(NonTerminal("TENSOR3"))}
         assert all(token.count(",") == 0 for token in t2)          # rank 1

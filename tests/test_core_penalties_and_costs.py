@@ -10,11 +10,9 @@ from repro.core.costs import BottomUpCostModel, TopDownCostModel, count_rhs_tens
 from repro.core.grammar_gen import bottomup_template_grammar, topdown_template_grammar
 from repro.core.pcfg_learn import learn_pcfg
 from repro.core.penalties import (
-    BOTTOMUP_CRITERIA,
     PenaltyConfig,
     PenaltyContext,
     PenaltyEvaluator,
-    TOPDOWN_CRITERIA,
     TemplateView,
     view_from_symbols,
 )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import (
     InputSpec,
@@ -35,7 +34,9 @@ def _search_components(candidates, dims, style):
     pcfg = learn_pcfg(grammar, templates, style=style)
     context = PenaltyContext(dims, False, frozenset({"*"}))
     evaluator = (
-        PenaltyEvaluator.topdown(context) if style == "topdown" else PenaltyEvaluator.bottomup(context)
+        PenaltyEvaluator.topdown(context)
+        if style == "topdown"
+        else PenaltyEvaluator.bottomup(context)
     )
     return pcfg, evaluator
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,8 +11,8 @@ from repro.core.dimension_list import (
     predict_dimension_list,
     vote_dimension_list,
 )
-from repro.core.templates import Template, deduplicate, templatize, templatize_all
-from repro.taco import SymbolicConstant, parse_program
+from repro.core.templates import deduplicate, templatize, templatize_all
+from repro.taco import parse_program
 
 
 class TestTemplatization:

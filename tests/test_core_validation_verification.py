@@ -33,7 +33,9 @@ def scale_task() -> LiftingTask:
             "void scale(int n, float alpha, float *x, float *out) {"
             " for (int i = 0; i < n; i++) out[i] = alpha * x[i] + 2; }"
         ),
-        spec=InputSpec(sizes={"n": 4}, arrays={"x": ("n",), "out": ("n",)}, scalars={"alpha": (1, 5)}),
+        spec=InputSpec(
+            sizes={"n": 4}, arrays={"x": ("n",), "out": ("n",)}, scalars={"alpha": (1, 5)}
+        ),
         reference_solution="a(i) = c * b(i) + Const",
     )
 
@@ -119,7 +121,8 @@ class TestValidator:
 class TestVerifier:
     def _verifier(self, task, **config):
         return BoundedEquivalenceChecker(
-            task, config=VerifierConfig(size_bound=2, exhaustive_cap=700, sampled_checks=8, **config)
+            task,
+            config=VerifierConfig(size_bound=2, exhaustive_cap=700, sampled_checks=8, **config),
         )
 
     def test_accepts_correct_program(self, matvec_task):

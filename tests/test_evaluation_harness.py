@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.result import SynthesisReport
 from repro.evaluation import (
-    EvaluationResult,
     EvaluationRunner,
-    RunRecord,
     cactus_series,
     cumulative_cactus,
     common_subset_metrics,

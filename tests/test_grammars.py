@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -221,7 +220,8 @@ class TestPropertyBased:
             options = tree.possible_expansions()
             # Bias towards terminals so random derivations terminate.
             terminal_options = [p for p in options if not p.rhs_nonterminals()]
-            pick = rng.choice(terminal_options if terminal_options and rng.random() < 0.7 else list(options))
+            prefer_terminal = terminal_options and rng.random() < 0.7
+            pick = rng.choice(terminal_options if prefer_terminal else list(options))
             tree = tree.expand_leftmost(pick)
         if tree.is_complete():
             tokens = tree.yield_tokens()

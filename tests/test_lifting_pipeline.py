@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import StaggConfig, StaggSynthesizer
+from repro.core import StaggSynthesizer
 from repro.core.synthesizer import synthesis_invocations
 from repro.lifting import (
     PipelineState,

@@ -15,7 +15,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.baselines import BaselineLifter, C2TacoLifter, LLMOnlyLifter, TenspilerLifter
+from repro.baselines import C2TacoLifter, LLMOnlyLifter, TenspilerLifter
 from repro.core import StaggSynthesizer
 from repro.lifting import (
     GRAMMAR_ABLATION_METHODS,

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core.penalties import (
     PENALTY_A1,

@@ -16,7 +16,7 @@ import time
 import pytest
 
 from repro.core.result import SynthesisReport
-from repro.core.synthesizer import StaggSynthesizer, synthesis_invocations
+from repro.core.synthesizer import synthesis_invocations
 from repro.lifting import (
     Budget,
     Lifter,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cfront.analysis import analyze_signature, harvest_constants
 from repro.core import SearchLimits, StaggConfig, StaggSynthesizer, VerifierConfig
 from repro.core.search import VisitedForms
 from repro.grammars import DerivationTree

@@ -5,7 +5,6 @@ from __future__ import annotations
 import json
 import pickle
 
-import pytest
 
 from repro.core import StaggConfig, StaggSynthesizer
 from repro.core.result import SynthesisReport

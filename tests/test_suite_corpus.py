@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from fractions import Fraction
 
 import numpy as np
 import pytest
@@ -13,11 +12,9 @@ from repro.cfront.analysis import harvest_constants
 from repro.suite import (
     REAL_WORLD_CATEGORIES,
     all_benchmarks,
-    artificial_benchmarks,
     benchmarks_by_category,
     corpus_statistics,
     get_benchmark,
-    real_world_benchmarks,
     select,
 )
 from repro.taco import parse_program

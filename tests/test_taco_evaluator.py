@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.taco import TacoEvaluator, TacoTypeError, evaluate, parse_program
+from repro.taco import TacoEvaluator, TacoTypeError, evaluate
 from repro.taco.errors import TacoEvaluationError
 
 
