@@ -55,9 +55,16 @@ from .trajectory import (
     find_record,
     trajectory_rows,
 )
-from .runner import BenchOverwriteError, current_git_sha, run_bench, summarize
+from .runner import (
+    BenchColdPathError,
+    BenchOverwriteError,
+    current_git_sha,
+    run_bench,
+    summarize,
+)
 
 __all__ = [
+    "BenchColdPathError",
     "BenchOverwriteError",
     "BenchRecord",
     "BenchSchemaError",

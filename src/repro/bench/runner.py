@@ -29,6 +29,10 @@ class BenchOverwriteError(RuntimeError):
     """Writing the record would clobber an existing ``BENCH_<tag>.json``."""
 
 
+class BenchColdPathError(RuntimeError):
+    """The record would land inside a serving-tier data directory."""
+
+
 def current_git_sha(root: Optional[Path] = None) -> Optional[str]:
     """The repo's HEAD SHA, or None outside a git checkout."""
     try:
@@ -70,6 +74,30 @@ def check_overwrite(path: Path, force: bool) -> None:
         )
 
 
+def check_cold_path(path: Path) -> None:
+    """Refuse to write a bench record into a service store/journal tree.
+
+    Bench numbers are cold-path measurements; the serving tier's result
+    store and job journal are warm state.  Sharing a directory couples the
+    two silently — warm-cache replays quoted as fresh numbers, or store
+    eviction deleting a committed baseline — so the harness refuses before
+    measuring anything.  (The service enforces the mirror-image rule: it
+    refuses a --cache-dir/--journal that holds BENCH_*.json records.)
+    """
+    parent = path.resolve().parent
+    for probe in (parent, *parent.parents):
+        if (probe / "v1" / "objects").is_dir() or any(
+            probe.glob("*.journal.sqlite3")
+        ):
+            raise BenchColdPathError(
+                f"refusing to write a bench record under {probe}: that "
+                f"directory holds serving-tier state (a result store or a "
+                f"job journal), and bench records must stay on the cold "
+                f"path.  Point --tag/--output somewhere outside the "
+                f"service's cache/journal tree."
+            )
+
+
 def run_bench(
     tag: Optional[str] = None,
     scope: str = "quick",
@@ -88,6 +116,7 @@ def run_bench(
     """
     path = resolve_output(tag, output, root=root)
     check_overwrite(path, force)
+    check_cold_path(path)
     from ..evaluation.perf import run_perf_suite
 
     record = run_perf_suite(scope=scope, include_portfolio=include_portfolio)
@@ -198,7 +227,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             force=args.force,
             include_portfolio=not args.no_portfolio,
         )
-    except BenchOverwriteError as error:
+    except (BenchOverwriteError, BenchColdPathError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(summarize(record))

@@ -27,6 +27,9 @@ The CLI exposes the library's main entry points without writing any Python:
 ``python -m repro submit <name-or-file.c>``
     Submit one lift to a running service and (by default) wait for the
     result.
+``python -m repro jobs``
+    Inspect a service job journal (newest-first listing, per-state
+    counts) and ``--requeue`` failed or interrupted jobs.
 ``python -m repro bench``
     Run the candidate-throughput microbenchmarks and write a
     ``BENCH_<tag>.json`` trajectory record (``--trajectory`` prints the
@@ -247,6 +250,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--timeout", type=float, default=60.0,
         help="default per-job time budget (s) for requests without one",
+    )
+    serve.add_argument(
+        "--journal", default=None,
+        help="crash-safe SQLite job journal: a database path, or a "
+        "directory (which gets jobs.journal.sqlite3).  Queued and running "
+        "jobs survive restarts and kill -9; orphaned work is re-enqueued "
+        "with bounded retries on the next start",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="admission-control threshold: submissions that would push the "
+        "backlog past this depth get HTTP 429 with a Retry-After derived "
+        "from the measured drain rate (omit for unbounded admission)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="runs a job may consume before a transient failure or crash "
+        "interruption becomes terminal (default: 3)",
+    )
+    serve.add_argument(
+        "--store-max-entries", type=int, default=None,
+        help="LRU cap on the result store: evict the oldest entries once "
+        "the store holds more than this many results",
+    )
+    serve.add_argument(
+        "--store-max-bytes", type=int, default=None,
+        help="LRU cap on the result store's total payload bytes",
+    )
+
+    jobs = subparsers.add_parser(
+        "jobs", help="inspect or repair a service job journal"
+    )
+    jobs.add_argument(
+        "--journal", required=True,
+        help="journal database path, or a directory containing "
+        "jobs.journal.sqlite3 (the same value `repro serve --journal` got)",
+    )
+    jobs.add_argument(
+        "--state", default=None,
+        choices=("queued", "running", "succeeded", "failed", "cancelled",
+                 "interrupted"),
+        help="only list jobs in this state",
+    )
+    jobs.add_argument(
+        "--limit", type=int, default=50,
+        help="newest-first listing size (default: 50)",
+    )
+    jobs.add_argument(
+        "--requeue", action="append", default=None, metavar="JOB_ID",
+        help="re-enqueue a failed/cancelled/interrupted job with a fresh "
+        "attempt budget (repeatable); a running service sharing the "
+        "journal picks it up, or the next `repro serve` start does",
     )
 
     submit = subparsers.add_parser(
@@ -636,8 +691,32 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # serve / submit: the lifting service
 # ---------------------------------------------------------------------- #
+def _warm_path_error(kind: str, value: str) -> Optional[str]:
+    """The serve-side half of the cold-path rule.
+
+    The bench harness refuses to write BENCH records into a store/journal
+    tree; symmetrically, the service refuses to put its warm state (result
+    store, job journal) in a directory that holds committed BENCH_*.json
+    baselines — store eviction unlinking a perf baseline, or a bench run
+    quietly reading a warm cache, must be impossible by construction.
+    """
+    target = Path(value)
+    directory = target if not target.suffix else target.parent
+    if directory.is_dir() and any(directory.glob("BENCH_*.json")):
+        return (
+            f"refusing {kind} {value!r}: {directory} holds BENCH_*.json "
+            f"perf baselines, and serving-tier state (stores, journals) "
+            f"must not share a directory with cold-path bench records.  "
+            f"Pick a dedicated data directory."
+        )
+    return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import LiftingService, make_server
+    import signal
+    import threading
+
+    from .service import DEFAULT_MAX_ATTEMPTS, LiftingService, make_server
 
     if args.workers < 1:
         print(
@@ -645,27 +724,129 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.max_queue_depth is not None and args.max_queue_depth < 1:
+        print(
+            f"--max-queue-depth must be a positive integer "
+            f"(got {args.max_queue_depth})",
+            file=sys.stderr,
+        )
+        return 2
+    for kind, value in (("--cache-dir", args.cache_dir), ("--journal", args.journal)):
+        error = _warm_path_error(kind, value) if value else None
+        if error:
+            print(error, file=sys.stderr)
+            return 2
     service = LiftingService(
         cache_dir=args.cache_dir,
         workers=args.workers,
         use_processes=args.processes,
         default_timeout=args.timeout,
+        journal=args.journal,
+        max_queue_depth=args.max_queue_depth,
+        max_attempts=(
+            args.max_attempts
+            if args.max_attempts is not None
+            else DEFAULT_MAX_ATTEMPTS
+        ),
+        store_max_entries=args.store_max_entries,
+        store_max_bytes=args.store_max_bytes,
     )
     server = make_server(args.host, args.port, service)
     host, port = server.server_address[:2]
+    recovered = service.scheduler.stats().get("recovered", 0)
     print(
         f"lifting service listening on http://{host}:{port} "
-        f"(workers={args.workers}, cache={args.cache_dir or 'disabled'})",
+        f"(workers={args.workers}, cache={args.cache_dir or 'disabled'}, "
+        f"journal={args.journal or 'disabled'}, recovered={recovered})",
         flush=True,
     )
+
+    # Graceful shutdown: the first SIGINT/SIGTERM stops accepting requests
+    # and lets in-flight work drain (or stay journaled).  server.shutdown()
+    # must not run on the serve_forever thread, hence the helper thread.
+    stop_requested = threading.Event()
+
+    def _request_stop(signum: int, _frame: object) -> None:
+        if stop_requested.is_set():
+            return
+        stop_requested.set()
+        print(
+            f"received {signal.Signals(signum).name}; draining and shutting down",
+            file=sys.stderr,
+            flush=True,
+        )
+        threading.Thread(
+            target=server.shutdown, name="serve-shutdown", daemon=True
+        ).start()
+
+    previous_handlers = {
+        signum: signal.signal(signum, _request_stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+    except KeyboardInterrupt:  # pragma: no cover - raced with the handler
+        pass
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         server.server_close()
+        # Counters are read before close() tears the journal down; close()
+        # itself flushes the persistent ones into the journal's meta table.
+        stats = service.stats()
         service.close()
+        scheduler_stats = stats["scheduler"]
+        print(
+            f"shut down cleanly: submitted={stats['submitted']} "
+            f"succeeded={scheduler_stats['succeeded']} "
+            f"failed={scheduler_stats['failed']} "
+            f"rejected={stats['rejected']} "
+            f"queued-for-next-start={stats['queue_depth']}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .service import JobJournal, resolve_journal_path
+
+    path = resolve_journal_path(args.journal)
+    if not path.exists():
+        print(f"no job journal at {path}", file=sys.stderr)
+        return 1
+    journal = JobJournal(path)
+    try:
+        status = 0
+        for job_id in args.requeue or ():
+            row = journal.row(job_id)
+            if row is None:
+                print(f"requeue {job_id}: no such job", file=sys.stderr)
+                status = 1
+            elif journal.requeue_terminal(job_id):
+                print(f"requeued {job_id} (was {row.state})")
+            else:
+                print(
+                    f"requeue {job_id}: state is {row.state!r} "
+                    f"(only failed/cancelled/interrupted jobs can be requeued)",
+                    file=sys.stderr,
+                )
+                status = 1
+        rows = journal.rows(state=args.state, limit=args.limit)
+        for row in rows:
+            error = f"  {row.error}" if row.error else ""
+            print(
+                f"{row.id:30s} {row.state:11s} attempts={row.attempts}/"
+                f"{row.max_attempts} submissions={row.submissions} "
+                f"digest={row.digest[:12]}{error}"
+            )
+        counts = journal.counts()
+        rendered = ", ".join(
+            f"{state}={count}" for state, count in sorted(counts.items())
+        )
+        print(f"({len(rows)} shown; {rendered or 'empty journal'})")
+        return status
+    finally:
+        journal.close()
 
 
 def _http_json(url: str, payload: Optional[dict] = None) -> Tuple[int, dict]:
@@ -832,6 +1013,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "bench": _cmd_bench,
     "gate": _cmd_gate,
 }

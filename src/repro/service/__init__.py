@@ -5,11 +5,19 @@ This package turns the one-shot synthesizer into a long-lived service:
 * :mod:`repro.service.digest` — content addresses for lift requests.
 * :mod:`repro.service.store` — persistent, crash-safe result store keyed
   by request digest, with provenance metadata and hit/miss counters.
+* :mod:`repro.service.journal` — crash-safe SQLite (WAL) job journal:
+  durable queue rows, atomic state transitions, recovery with bounded
+  retries and persistent counters.
 * :mod:`repro.service.scheduler` — priority job queue with in-flight
-  deduplication, per-job timeouts and a thread/process worker pool.
+  deduplication, per-job timeouts, transient-failure retry/backoff and a
+  thread/process worker pool, optionally journal-backed.
+* :mod:`repro.service.faults` — fault-injection harness (named failure
+  points, env-configurable, JSONL event log) proving the failure paths.
 * :mod:`repro.service.api` — :class:`LiftingService`, the submit /
-  status / result / batch surface shared by the CLI and the HTTP layer.
-* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` front end.
+  status / result / batch surface shared by the CLI and the HTTP layer,
+  with queue-depth admission control.
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` front end
+  (429 + Retry-After past the admission threshold).
 
 It is also the seam the evaluation harness uses for warm-cache corpus
 sweeps: :class:`CachedLifter` wraps any lifting method with the store.
@@ -19,6 +27,7 @@ from .api import (
     LiftRequest,
     LiftingService,
     ServiceError,
+    ServiceOverloadedError,
     build_lifter,
     execute_request,
     request_digest,
@@ -33,7 +42,15 @@ from .digest import (
     jsonable,
     lift_digest,
 )
-from .scheduler import Job, JobScheduler, JobState
+from .journal import (
+    DEFAULT_MAX_ATTEMPTS,
+    JOURNAL_SUFFIX,
+    JobJournal,
+    JobRow,
+    backoff_seconds,
+    resolve_journal_path,
+)
+from .scheduler import DEFAULT_JOB_RETENTION, Job, JobScheduler, JobState
 from .server import (
     DEFAULT_PORT,
     LiftingServer,
@@ -46,6 +63,14 @@ __all__ = [
     "LiftRequest",
     "LiftingService",
     "ServiceError",
+    "ServiceOverloadedError",
+    "DEFAULT_MAX_ATTEMPTS",
+    "JOURNAL_SUFFIX",
+    "JobJournal",
+    "JobRow",
+    "backoff_seconds",
+    "resolve_journal_path",
+    "DEFAULT_JOB_RETENTION",
     "build_lifter",
     "execute_request",
     "request_digest",

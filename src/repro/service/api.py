@@ -19,6 +19,7 @@ Requests come in two shapes:
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
@@ -29,13 +30,27 @@ from ..core.task import InputSpec, LiftingTask
 from ..lifting import Budget, LiftObserver, Lifter, method_name_for, resolve_method
 from ..llm import OracleConfig, StaticOracle, SyntheticOracle
 from ..suite import get_benchmark
+from . import faults
 from .digest import lift_digest
+from .journal import DEFAULT_MAX_ATTEMPTS, JobJournal
 from .scheduler import Job, JobScheduler
 from .store import ResultStore
 
 
 class ServiceError(ValueError):
     """A request that cannot be resolved into a lift (HTTP 400)."""
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The queue is past its admission threshold (HTTP 429 + Retry-After)."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"queue depth {depth} is at the admission limit; "
+            f"retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
 
 
 #: Per-job wall-clock budget applied when a request does not carry one.
@@ -209,8 +224,16 @@ def execute_request(
     stage observer), so a per-job deadline stops the synthesis cooperatively;
     in process mode the request's timeout is already baked into the method's
     search limits by :func:`build_lifter`.
+
+    Two named fault points fire here (no-ops unless a fault plan is armed;
+    see :mod:`repro.service.faults`): ``execute`` at the top — pacing and
+    worker-death injection for the crash e2e — and ``oracle`` just before
+    the pipeline runs, standing in for a transient oracle-connection flake
+    (an ``OSError`` the scheduler retries with backoff).
     """
+    faults.fail_point("execute")
     task = resolve_task(request)  # re-raises ServiceError for bad requests
+    faults.fail_point("oracle")
     return build_lifter(request).lift(task, budget=budget, observer=observer)
 
 
@@ -220,8 +243,27 @@ def request_digest(request: LiftRequest) -> str:
     return lift_digest(task, build_lifter(request).descriptor())
 
 
+def _encode_request(request: LiftRequest) -> str:
+    """Journal payload codec: a request as canonical JSON."""
+    return json.dumps(request.to_payload(), sort_keys=True)
+
+
+def _decode_request(raw: str) -> LiftRequest:
+    return LiftRequest.from_payload(json.loads(raw))
+
+
 class LiftingService:
-    """Submit/status/result/batch over a store-backed scheduler."""
+    """Submit/status/result/batch over a store-backed scheduler.
+
+    With ``journal`` set, the scheduler runs on the crash-safe SQLite job
+    journal: submissions survive restarts, orphaned jobs are recovered
+    with bounded retries, and several service processes can share one
+    journal + store volume.  ``max_queue_depth`` enables admission
+    control: past the threshold, fresh work is refused with
+    :class:`ServiceOverloadedError` (HTTP 429 + Retry-After derived from
+    the measured drain rate) — dedup attaches and store answers are still
+    served, since they add no queue load.
+    """
 
     def __init__(
         self,
@@ -229,11 +271,33 @@ class LiftingService:
         workers: int = 2,
         use_processes: bool = False,
         default_timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        journal: Optional[Union[str, Path, JobJournal]] = None,
+        max_queue_depth: Optional[int] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        store_max_entries: Optional[int] = None,
+        store_max_bytes: Optional[int] = None,
     ) -> None:
-        self._store = ResultStore(cache_dir) if cache_dir is not None else None
+        self._store = (
+            ResultStore(
+                cache_dir, max_entries=store_max_entries, max_bytes=store_max_bytes
+            )
+            if cache_dir is not None
+            else None
+        )
+        if journal is not None and not isinstance(journal, JobJournal):
+            journal = JobJournal(journal)
+        self._journal = journal
         self._default_timeout = default_timeout
+        self._max_queue_depth = (
+            max(0, int(max_queue_depth)) if max_queue_depth is not None else None
+        )
         self._lock = threading.Lock()
         self._submitted = 0
+        # Rejections are ops telemetry worth keeping across restarts: the
+        # journal's meta table persists the lifetime count.
+        self._rejected = (
+            self._journal.meta_get("rejected_total") if self._journal else 0
+        )
         # Provenance records the request payload only; the lifter identity
         # is already pinned by the digest the entry is stored under.
         self._scheduler = JobScheduler(
@@ -242,6 +306,9 @@ class LiftingService:
             workers=workers,
             use_processes=use_processes,
             provenance=lambda request: {"request": request.to_payload()},
+            journal=self._journal,
+            max_attempts=max_attempts,
+            payload_codec=(_encode_request, _decode_request),
         )
 
     @property
@@ -252,58 +319,164 @@ class LiftingService:
     def scheduler(self) -> JobScheduler:
         return self._scheduler
 
+    @property
+    def journal(self) -> Optional[JobJournal]:
+        return self._journal
+
     # ------------------------------------------------------------------ #
     # API surface (mirrored 1:1 by the HTTP endpoints)
     # ------------------------------------------------------------------ #
     def submit(self, request: LiftRequest) -> Job:
-        """Validate, digest and schedule one request.
+        """Validate, digest, admit and schedule one request.
 
         A request without a timeout gets the service default *before*
         digesting, so the effective budget is part of its content address
-        and the scheduler and synthesizer agree on it.
+        and the scheduler and synthesizer agree on it.  Past the admission
+        threshold, work that would lengthen the queue raises
+        :class:`ServiceOverloadedError`; submissions that attach to an
+        in-flight job or replay a stored digest are always admitted.
         """
         if request.timeout is None:
             request = replace(request, timeout=self._default_timeout)
         digest = request_digest(request)  # raises ServiceError on bad requests
+        if self._max_queue_depth is not None:
+            depth = self._scheduler.queue_depth()
+            if depth >= self._max_queue_depth and not self._would_attach(digest):
+                retry_after = self._scheduler.estimate_retry_after(depth)
+                with self._lock:
+                    self._rejected += 1
+                    rejected = self._rejected
+                if self._journal is not None:
+                    self._journal.meta_set("rejected_total", rejected)
+                faults.log_event(
+                    "job.rejected", digest=digest, depth=depth,
+                    retry_after=retry_after,
+                )
+                raise ServiceOverloadedError(depth, retry_after)
         with self._lock:
             self._submitted += 1
         return self._scheduler.submit(
             request, digest, priority=request.priority, timeout=request.timeout
         )
 
+    def _would_attach(self, digest: str) -> bool:
+        """Whether a submission adds no queue load (dedup or store hit)."""
+        if self._scheduler.is_active(digest):
+            return True
+        return self._store is not None and digest in self._store
+
     def submit_batch(self, requests: Sequence[LiftRequest]) -> List[Job]:
         return [self.submit(request) for request in requests]
 
     def status(self, job_id: str) -> Optional[Dict[str, object]]:
+        """Job status: live scheduler view, journal row, or eviction crumb.
+
+        The fallback chain is what makes lookups survive both restarts
+        (journal rows persist) and retention-ring eviction (the crumb
+        distinguishes "evicted" from "never existed", and says whether the
+        stored result is still available).
+        """
         job = self._scheduler.job(job_id)
-        return job.status_dict() if job is not None else None
+        if job is not None:
+            return job.status_dict()
+        row = self._scheduler.journal_row(job_id)
+        if row is not None:
+            return row.status_dict()
+        digest = self._scheduler.evicted_digest(job_id)
+        if digest is not None:
+            status: Dict[str, object] = {
+                "id": job_id,
+                "digest": digest,
+                "state": "evicted",
+                "evicted": True,
+                "stored": self._store is not None and digest in self._store,
+            }
+            return status
+        return None
 
     def result(
         self, job_id: str, wait: Optional[float] = None
     ) -> Optional[Dict[str, object]]:
-        """The finished job's report (or None if unknown / still running)."""
+        """The finished job's report (or None if unknown / still running).
+
+        Jobs that fell out of the in-memory ring are served from the
+        journal + content-addressed store: a terminal journal row (or an
+        eviction crumb) whose digest is stored yields the stored report.
+        """
         job = self._scheduler.job(job_id)
-        if job is None:
-            return None
-        if wait:
-            job.wait(wait)
-        if not job.state.terminal:
-            return None
-        result = job.status_dict()
-        result["report"] = (
-            job.report.to_json_dict() if job.report is not None else None
-        )
-        return result
+        if job is not None:
+            if wait:
+                job.wait(wait)
+            if not job.state.terminal:
+                return None
+            result = job.status_dict()
+            result["report"] = (
+                job.report.to_json_dict() if job.report is not None else None
+            )
+            return result
+        row = self._scheduler.journal_row(job_id)
+        if row is not None:
+            if not row.terminal:
+                return None
+            result = row.status_dict()
+            result["report"] = None
+            if self._store is not None:
+                entry = self._store.get(row.digest)
+                if entry is not None:
+                    result["report"] = entry.report.to_json_dict()
+            return result
+        digest = self._scheduler.evicted_digest(job_id)
+        if digest is not None and self._store is not None:
+            entry = self._store.get(digest)
+            if entry is not None:
+                return {
+                    "id": job_id,
+                    "digest": digest,
+                    "state": "evicted",
+                    "evicted": True,
+                    "cached": True,
+                    "report": entry.report.to_json_dict(),
+                }
+        return None
+
+    def health(self) -> Dict[str, object]:
+        """The ``GET /healthz`` body: liveness plus the backlog gauges."""
+        oldest = self._scheduler.oldest_queued_age()
+        return {
+            "ok": True,
+            "queue_depth": self._scheduler.queue_depth(),
+            "oldest_queued_age": oldest,
+            "journal": str(self._journal.path) if self._journal else None,
+        }
 
     def stats(self) -> Dict[str, object]:
-        stats: Dict[str, object] = {"submitted": self._submitted}
-        stats["scheduler"] = self._scheduler.stats()
+        scheduler_stats = self._scheduler.stats()
+        stats: Dict[str, object] = {
+            "submitted": self._submitted,
+            "rejected": self._rejected,
+            # Flattened copies of the load-shedding gauges, so dashboards
+            # (and the acceptance e2e) read them without digging.
+            "queue_depth": scheduler_stats["queue_depth"],
+            "oldest_queued_age": scheduler_stats["oldest_queued_age"],
+            "recovered": scheduler_stats["recovered"],
+        }
+        stats["scheduler"] = scheduler_stats
         if self._store is not None:
             stats["store"] = self._store.stats()
         return stats
 
-    def close(self) -> None:
-        self._scheduler.shutdown()
+    def close(self, drain: Optional[bool] = None) -> None:
+        """Shut down: stop workers, flush counters, close the journal.
+
+        With a journal, queued jobs are left journaled for the next start
+        (``drain=False``) unless the caller insists on draining; without
+        one, the historical drain-everything behaviour is kept.
+        """
+        self._scheduler.shutdown(drain=drain)
+        if self._journal is not None:
+            with self._lock:
+                self._journal.meta_set("rejected_total", self._rejected)
+            self._journal.close()
 
     def __enter__(self) -> "LiftingService":
         return self

@@ -1,15 +1,33 @@
 """Async job scheduler for the lifting service.
 
 The scheduler owns a priority queue of lift jobs and a pool of workers
-that drain it.  Three service-level behaviours live here rather than in
-the synthesizer:
+that drain it.  Service-level behaviours live here rather than in the
+synthesizer:
 
 * **Deduplication** — a submission whose request digest matches a job that
   is already queued or running attaches to that job instead of enqueueing
   a second copy; a submission whose digest is already in the result store
-  completes immediately without touching the queue at all.
+  completes immediately without touching the queue at all.  With a journal
+  attached, both halves survive restarts and span processes: the journal's
+  partial unique index refuses a second active row per digest no matter
+  which server inserted the first.
 * **Prioritisation** — jobs carry an integer priority (lower runs first);
   ties are broken by submission order, so equal-priority traffic is FIFO.
+* **Durability** — with a :class:`repro.service.journal.JobJournal`
+  attached, every submission is journaled *before* it is queued, every
+  state transition is a guarded SQLite ``UPDATE``, and construction
+  replays the journal: ``QUEUED`` rows are re-adopted and orphaned
+  ``RUNNING`` rows are marked ``INTERRUPTED`` and re-enqueued with
+  exponential backoff + deterministic jitter, up to each row's bounded
+  ``max_attempts``.  Several worker threads — or several server processes
+  sharing a volume — drain one queue; the journal's atomic ``claim`` is
+  the arbitration point.
+* **Retry with backoff** — a *transient* failure (``OSError``, which
+  covers oracle socket flakes, injected :class:`~repro.service.faults.
+  TransientFault`\\ s and kin) re-enqueues the job with backoff instead of
+  failing it, up to ``max_attempts`` runs; deterministic failures
+  (anything that is not an ``OSError``) fail immediately.  Result-store
+  writes get their own small in-place retry loop.
 * **Timeouts & cancellation** — each job carries a wall-clock budget.  In
   thread mode (with a budget-aware executor such as
   :func:`repro.service.api.execute_request`) the budget becomes a
@@ -34,9 +52,12 @@ from __future__ import annotations
 import heapq
 import inspect
 import itertools
+import json
+import math
 import threading
 import time
-from collections import deque
+import uuid
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -46,6 +67,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.result import SynthesisReport
 from ..lifting import Budget, LiftObserver
 from ..lifting.observer import tagged_member
+from . import faults
+from .journal import (
+    DEFAULT_MAX_ATTEMPTS,
+    DuplicateActiveDigest,
+    JobJournal,
+    JobRow,
+    backoff_seconds,
+    owner_token,
+)
 from .store import ResultStore
 
 #: Extra wall-clock slack granted on top of a job's budget in process mode
@@ -56,6 +86,19 @@ TIMEOUT_GRACE_SECONDS = 10.0
 #: lookups.  Older finished jobs are evicted (their results live on in the
 #: store, keyed by digest), which bounds memory in a long-lived service.
 DEFAULT_JOB_RETENTION = 1024
+
+#: How many evicted-job id → digest crumbs are kept so ``GET /status`` /
+#: ``GET /result`` can distinguish "evicted" (and serve the stored result)
+#: from "never existed".  Crumbs are two small strings, so this can be
+#: comfortably larger than the job retention ring.
+EVICTED_DIGEST_RETENTION = 4096
+
+#: In-place retry budget for result-store writes (transient ``OSError``).
+STORE_WRITE_ATTEMPTS = 3
+
+#: Fallback per-job duration estimate (s) for Retry-After before any job
+#: has completed.
+DEFAULT_DRAIN_ESTIMATE_SECONDS = 60.0
 
 
 class _JobOverrun(Exception):
@@ -72,6 +115,9 @@ class JobState(str, Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: A journal-only transient state: the row was RUNNING when its owner
+    #: died; recovery immediately re-enqueues or fails it.
+    INTERRUPTED = "interrupted"
 
     @property
     def terminal(self) -> bool:
@@ -94,6 +140,11 @@ class Job:
     cached: bool = False
     #: How many submissions were coalesced onto this job (1 = no dedup).
     submissions: int = 1
+    #: How many runs this job has consumed (restart-interrupted and
+    #: transiently-failed runs count; the journal persists this).
+    attempts: int = 0
+    #: Earliest wall-clock time the job may (re)run — retry backoff.
+    not_before: float = 0.0
     #: Live pipeline progress ("oracle", "search:2048", ...) in thread mode.
     stage: str = ""
     created_at: float = field(default_factory=time.time)
@@ -119,6 +170,7 @@ class Job:
             "priority": self.priority,
             "cached": self.cached,
             "submissions": self.submissions,
+            "attempts": self.attempts,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -197,8 +249,22 @@ def _accepts_budget(executor: Callable) -> bool:
     return "budget" in parameters and "observer" in parameters
 
 
+def _is_transient(error: BaseException) -> bool:
+    """Transient = worth a backoff retry.
+
+    ``OSError`` covers the real transient universe here — socket flakes
+    talking to an oracle, interrupted store writes, injected
+    :class:`~repro.service.faults.TransientFault`\\ s.  Everything else
+    (bad requests, synthesis bugs, deterministic
+    :class:`~repro.service.faults.FaultError`\\ s) is deterministic: the
+    same input would fail the same way, so retrying only burns budget.
+    """
+    return isinstance(error, OSError)
+
+
 class JobScheduler:
-    """Priority queue + worker pool with dedup, store hits and timeouts."""
+    """Priority queue + worker pool with dedup, store hits, retries and
+    (optionally) a crash-safe SQLite journal underneath."""
 
     def __init__(
         self,
@@ -208,6 +274,11 @@ class JobScheduler:
         use_processes: bool = False,
         provenance: Optional[Callable[[object], Dict[str, object]]] = None,
         job_retention: int = DEFAULT_JOB_RETENTION,
+        journal: Optional[JobJournal] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        payload_codec: Optional[
+            Tuple[Callable[[object], str], Callable[[str], object]]
+        ] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"scheduler needs at least one worker, got {workers}")
@@ -215,6 +286,12 @@ class JobScheduler:
         self._cooperative = not use_processes and _accepts_budget(executor)
         self._store = store
         self._provenance = provenance
+        self._journal = journal
+        self._owner = owner_token()
+        self._max_attempts = max(1, int(max_attempts))
+        encode, decode = payload_codec or (json.dumps, json.loads)
+        self._encode_payload = encode
+        self._decode_payload = decode
         self._queue: List[Tuple[int, int, Job]] = []
         self._sequence = itertools.count()
         self._lock = threading.Lock()
@@ -223,15 +300,28 @@ class JobScheduler:
         self._jobs: Dict[str, Job] = {}  # id -> job (all states)
         self._retention = max(1, int(job_retention))
         self._finished_order: deque = deque()  # terminal job ids, oldest first
+        #: id -> digest crumbs for jobs evicted from the retention ring, so
+        #: the HTTP layer can answer "evicted, stored result available"
+        #: instead of an indistinct 404.
+        self._evicted_digests: "OrderedDict[str, str]" = OrderedDict()
         self._shutdown = False
+        self._drain_on_shutdown = True
         self._deduplicated = 0
         self._store_answers = 0
         self._budget_truncated = 0
+        self._retried = 0
+        self._recovered = 0
+        self._store_write_retries = 0
+        #: (finished_at, duration) of recent terminal jobs — the drain-rate
+        #: sample backing Retry-After estimates.
+        self._recent_finishes: deque = deque(maxlen=32)
         self._finished_counts = {
             JobState.SUCCEEDED: 0,
             JobState.FAILED: 0,
             JobState.CANCELLED: 0,
         }
+        if self._journal is not None:
+            self._recover_from_journal()
         self._pool_workers = workers
         self._pool = ProcessPoolExecutor(max_workers=workers) if use_processes else None
         self._workers = [
@@ -242,6 +332,57 @@ class JobScheduler:
         ]
         for thread in self._workers:
             thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Journal recovery / rehydration
+    # ------------------------------------------------------------------ #
+    def _materialize(self, row: JobRow) -> Optional[Job]:
+        """A :class:`Job` for a journal row (None + journal FAILED on rot)."""
+        try:
+            payload = self._decode_payload(row.payload)
+        except Exception as error:  # noqa: BLE001 - rot must not kill startup
+            self._journal.finish(
+                row.id, "failed", error=f"unreadable journaled payload: {error}"
+            )
+            return None
+        job = Job(
+            id=row.id,
+            digest=row.digest,
+            payload=payload,
+            priority=int(row.priority),
+            timeout=row.timeout,
+            submissions=int(row.submissions),
+            attempts=int(row.attempts),
+            not_before=float(row.not_before),
+            created_at=float(row.created_at),
+        )
+        job.error = row.error or ""
+        return job
+
+    def _recover_from_journal(self) -> None:
+        """Adopt every runnable journal row at startup (crash recovery)."""
+        runnable, _failed = self._journal.recover()
+        adopted = 0
+        for row in runnable:
+            job = self._materialize(row)
+            if job is None:
+                continue
+            with self._lock:
+                if job.id in self._jobs or job.digest in self._active:
+                    continue
+                self._jobs[job.id] = job
+                self._active[job.digest] = job
+                heapq.heappush(self._queue, (job.priority, next(self._sequence), job))
+            adopted += 1
+            faults.log_event(
+                "job.recovered", id=job.id, digest=job.digest, attempts=job.attempts
+            )
+        self._recovered = adopted
+        if adopted:
+            self._journal.meta_set(
+                "recovered_total",
+                self._journal.meta_get("recovered_total") + adopted,
+            )
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -256,7 +397,9 @@ class JobScheduler:
         """Schedule a lift; may return an existing (deduplicated) job.
 
         The returned job is immediately terminal when the digest was
-        already answered in the result store.
+        already answered in the result store.  With a journal attached the
+        submission is journaled before it is queued, so it survives a
+        crash from this point on.
         """
         with self._lock:
             if self._shutdown:
@@ -265,6 +408,8 @@ class JobScheduler:
             if existing is not None:
                 existing.submissions += 1
                 self._deduplicated += 1
+                if self._journal is not None:
+                    self._journal.record_attach(existing.id)
                 return existing
         if self._store is not None:
             entry = self._store.get(digest)
@@ -275,16 +420,38 @@ class JobScheduler:
                 with self._lock:
                     self._store_answers += 1
                     self._jobs[job.id] = job
+                if self._journal is not None:
+                    self._journal.record_cached(
+                        job.id, digest, self._encode_json_payload(payload),
+                        priority=priority, timeout=timeout,
+                    )
                 self._finish(job, JobState.SUCCEEDED)
                 return job
         job = self._make_job(digest, payload, priority, timeout)
+        if self._journal is not None:
+            try:
+                self._journal.insert(
+                    job.id,
+                    digest,
+                    self._encode_json_payload(payload),
+                    priority=priority,
+                    timeout=timeout,
+                    max_attempts=self._max_attempts,
+                )
+            except DuplicateActiveDigest as duplicate:
+                return self._attach_to_journaled(duplicate, payload)
         with self._lock:
             # Re-check under the lock: another thread may have enqueued the
-            # same digest while we probed the store.
+            # same digest while we probed the store / wrote the journal.
             existing = self._active.get(digest)
             if existing is not None:
                 existing.submissions += 1
                 self._deduplicated += 1
+                if self._journal is not None:
+                    self._journal.record_attach(existing.id)
+                    self._journal.finish(
+                        job.id, "cancelled", error="coalesced onto " + existing.id
+                    )
                 return existing
             self._jobs[job.id] = job
             self._active[digest] = job
@@ -292,13 +459,54 @@ class JobScheduler:
             self._work_ready.notify()
         return job
 
+    def _encode_json_payload(self, payload: object) -> str:
+        try:
+            return self._encode_payload(payload)
+        except Exception:  # noqa: BLE001 - journal a marker, not nothing
+            return json.dumps({"unencodable": repr(payload)})
+
+    def _attach_to_journaled(
+        self, duplicate: DuplicateActiveDigest, payload: object
+    ) -> Job:
+        """Coalesce onto an active row owned by this or another process."""
+        with self._lock:
+            local = self._jobs.get(duplicate.existing_id)
+            if local is not None and not local.state.terminal:
+                local.submissions += 1
+                self._deduplicated += 1
+                self._journal.record_attach(local.id)
+                return local
+        # The active row belongs to another server process sharing this
+        # journal.  Record the attach and hand back a snapshot job; its id
+        # resolves via the journal for status/result lookups.
+        self._journal.record_attach(duplicate.existing_id)
+        with self._lock:
+            self._deduplicated += 1
+        row = self._journal.row(duplicate.existing_id)
+        snapshot = self._materialize(row) if row is not None else None
+        if snapshot is None:  # pragma: no cover - row vanished mid-attach
+            snapshot = Job(
+                id=duplicate.existing_id, digest=duplicate.digest, payload=payload
+            )
+        try:
+            snapshot.state = JobState(row.state) if row is not None else JobState.QUEUED
+        except ValueError:  # pragma: no cover - unknown journal state
+            snapshot.state = JobState.QUEUED
+        return snapshot
+
     def _make_job(
         self, digest: str, payload: object, priority: int, timeout: Optional[float]
     ) -> Job:
-        with self._lock:
-            number = next(self._sequence)
+        if self._journal is not None:
+            # Journal ids must stay unique across restarts and across
+            # processes sharing the database; a per-process sequence is not.
+            job_id = f"job-{uuid.uuid4().hex[:10]}-{digest[:8]}"
+        else:
+            with self._lock:
+                number = next(self._sequence)
+            job_id = f"job-{number:06d}-{digest[:8]}"
         return Job(
-            id=f"job-{number:06d}-{digest[:8]}",
+            id=job_id,
             digest=digest,
             payload=payload,
             priority=priority,
@@ -311,6 +519,27 @@ class JobScheduler:
     def job(self, job_id: str) -> Optional[Job]:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def is_active(self, digest: str) -> bool:
+        """Whether *digest* has a queued/running job (here or, with a
+        journal, in any process sharing it) that a submission would join."""
+        with self._lock:
+            if digest in self._active:
+                return True
+        if self._journal is not None:
+            return self._journal.active_for_digest(digest) is not None
+        return False
+
+    def evicted_digest(self, job_id: str) -> Optional[str]:
+        """The digest of a job evicted from the retention ring, if known."""
+        with self._lock:
+            return self._evicted_digests.get(job_id)
+
+    def journal_row(self, job_id: str) -> Optional[JobRow]:
+        """The journal's view of a job (survives restarts and eviction)."""
+        if self._journal is None:
+            return None
+        return self._journal.row(job_id)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job.
@@ -342,8 +571,52 @@ class JobScheduler:
         self._finish(job, JobState.CANCELLED)
         return True
 
-    def stats(self) -> Dict[str, int]:
+    def queue_depth(self) -> int:
+        """Jobs waiting to run (journal-wide when a journal is attached)."""
+        if self._journal is not None:
+            return self._journal.queue_depth()
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.state is JobState.QUEUED
+            )
+
+    def oldest_queued_age(self) -> Optional[float]:
+        """Age (s) of the oldest queued job — the backlog staleness gauge."""
+        if self._journal is not None:
+            return self._journal.oldest_queued_age()
+        with self._lock:
+            queued = [
+                job.created_at
+                for job in self._jobs.values()
+                if job.state is JobState.QUEUED
+            ]
+        if not queued:
+            return None
+        return max(0.0, time.time() - min(queued))
+
+    def estimate_retry_after(self, depth: Optional[int] = None) -> int:
+        """Seconds an overloaded client should wait, from the drain rate.
+
+        Recent terminal jobs give an average service time; the backlog
+        divided across the worker pool turns that into a drain estimate.
+        Before any job has finished a conservative default is used.
+        """
+        if depth is None:
+            depth = self.queue_depth()
+        with self._lock:
+            recent = list(self._recent_finishes)
+            workers = len(self._workers) if self._workers else self._pool_workers
+        if recent:
+            average = sum(duration for _, duration in recent) / len(recent)
+        else:
+            average = DEFAULT_DRAIN_ESTIMATE_SECONDS
+        estimate = math.ceil(max(1, depth) * average / max(1, workers))
+        return int(min(max(estimate, 1), 600))
+
+    def stats(self) -> Dict[str, object]:
         """Lifetime counters (terminal counts survive job eviction)."""
+        queue_depth = self.queue_depth()
+        oldest = self.oldest_queued_age()
         with self._lock:
             states = [job.state for job in self._jobs.values()]
             return {
@@ -355,11 +628,32 @@ class JobScheduler:
                 "deduplicated": self._deduplicated,
                 "store_answers": self._store_answers,
                 "budget_truncated": self._budget_truncated,
+                "queue_depth": queue_depth,
+                "oldest_queued_age": oldest,
+                "retried": self._retried,
+                "recovered": self._recovered,
+                "store_write_retries": self._store_write_retries,
             }
 
-    def shutdown(self, wait: bool = True, timeout: Optional[float] = 10.0) -> None:
+    def shutdown(
+        self,
+        wait: bool = True,
+        timeout: Optional[float] = 10.0,
+        drain: Optional[bool] = None,
+    ) -> None:
+        """Stop the workers.
+
+        ``drain`` controls what happens to still-queued jobs: True finishes
+        them first (the historical in-memory behaviour — dropping them
+        would lose work forever), False stops after the jobs already
+        running (the journal-backed default — queued rows persist in the
+        journal and the next start re-adopts them).
+        """
+        if drain is None:
+            drain = self._journal is None
         with self._lock:
             self._shutdown = True
+            self._drain_on_shutdown = drain
             self._work_ready.notify_all()
         if wait:
             for thread in self._workers:
@@ -372,24 +666,107 @@ class JobScheduler:
     # ------------------------------------------------------------------ #
     def _worker_loop(self) -> None:
         while True:
+            job = self._claim_next()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _forget_locked(self, job: Job) -> None:
+        """Drop a local job another process claimed through the journal."""
+        self._jobs.pop(job.id, None)
+        if self._active.get(job.digest) is job:
+            self._active.pop(job.digest, None)
+
+    def _pop_runnable_locked(self) -> Tuple[Optional[Job], Optional[float]]:
+        """Pop the best runnable heap entry; (job, seconds-until-eligible)."""
+        now = time.time()
+        deferred: List[Tuple[int, int, Job]] = []
+        claimed: Optional[Job] = None
+        delay: Optional[float] = None
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            job = entry[2]
+            if job.state is not JobState.QUEUED:
+                continue  # cancelled while queued, or a stale retry entry
+            if job.not_before > now:
+                deferred.append(entry)
+                continue
+            if self._journal is not None and not self._journal.claim(
+                job.id, self._owner
+            ):
+                # Another process won the row (or an operator moved it);
+                # our local copy is stale.
+                self._forget_locked(job)
+                continue
+            claimed = job
+            break
+        for entry in deferred:
+            heapq.heappush(self._queue, entry)
+        if claimed is None and deferred:
+            delay = max(0.0, min(e[2].not_before for e in deferred) - now)
+        return claimed, delay
+
+    def _claim_next(self) -> Optional[Job]:
+        """Block until a job is claimed for this worker (None = shutdown)."""
+        while True:
             with self._work_ready:
-                while not self._queue and not self._shutdown:
-                    self._work_ready.wait(0.2)
-                if self._shutdown and not self._queue:
-                    return
-                if not self._queue:
+                if self._shutdown and (
+                    not self._drain_on_shutdown or not self._queue
+                ):
+                    return None
+                job, delay = self._pop_runnable_locked()
+                if job is not None:
+                    # State flip + budget creation happen under the same
+                    # lock acquisition, so cancel() never observes a running
+                    # cooperative job without a budget to cancel.
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+                    job.attempts += 1
+                    if self._cooperative:
+                        job.budget = Budget(timeout_seconds=job.timeout)
+                    return job
+                if self._journal is None:
+                    wait = min(delay, 0.2) if delay is not None else 0.2
+                    self._work_ready.wait(wait)
                     continue
-                _, _, job = heapq.heappop(self._queue)
-                if job.state is JobState.CANCELLED:
-                    continue
+            # Journal mode, outside the lock: adopt rows submitted by other
+            # processes (or left over from a recovery race).
+            job = self._adopt_external()
+            if job is not None:
+                return job
+            with self._work_ready:
+                if self._shutdown and (
+                    not self._drain_on_shutdown or not self._queue
+                ):
+                    return None
+                wait = min(delay, 0.2) if delay is not None else 0.2
+                self._work_ready.wait(wait)
+
+    def _adopt_external(self) -> Optional[Job]:
+        """Claim an eligible journal row this process has never seen."""
+        try:
+            rows = self._journal.eligible(limit=8)
+        except Exception:  # noqa: BLE001 - a sick journal must not kill workers
+            return None
+        for row in rows:
+            with self._lock:
+                if row.id in self._jobs:
+                    continue  # local job; the heap path owns it
+            if not self._journal.claim(row.id, self._owner):
+                continue
+            job = self._materialize(row)
+            if job is None:
+                continue
+            with self._lock:
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                job.attempts = int(row.attempts) + 1
+                self._jobs[job.id] = job
+                self._active[job.digest] = job
                 if self._cooperative:
-                    # Created under the same lock acquisition that flips the
-                    # state to RUNNING, so cancel() never observes a running
-                    # cooperative job without a budget to cancel.
                     job.budget = Budget(timeout_seconds=job.timeout)
-            self._run_job(job)
+            return job
+        return None
 
     def _replace_pool(self) -> None:
         """Swap in a fresh process pool after a runaway job.
@@ -426,7 +803,77 @@ class JobScheduler:
                 self._replace_pool()
             raise _JobOverrun(job.timeout) from None
 
+    def _maybe_retry(self, job: Job) -> bool:
+        """Re-enqueue a transiently-failed job with backoff (True = retried)."""
+        with self._lock:
+            if self._shutdown and not self._drain_on_shutdown:
+                return False
+            if job.attempts >= self._max_attempts:
+                return False
+            if job.budget is not None and job.budget.cancelled:
+                return False
+        if self._journal is not None:
+            not_before = self._journal.requeue(job.id, error=job.error)
+            if not_before is None:
+                return False
+        else:
+            not_before = time.time() + backoff_seconds(job.id, job.attempts)
+        with self._work_ready:
+            job.state = JobState.QUEUED
+            job.not_before = not_before
+            job.started_at = None
+            job.budget = None
+            job.stage = ""
+            self._retried += 1
+            heapq.heappush(self._queue, (job.priority, next(self._sequence), job))
+            self._work_ready.notify()
+        faults.log_event(
+            "job.retry",
+            id=job.id,
+            digest=job.digest,
+            attempts=job.attempts,
+            not_before=not_before,
+            error=job.error,
+        )
+        return True
+
+    def _store_put_with_retry(self, job: Job, report: SynthesisReport) -> None:
+        """Persist the report, riding out transient write failures in place."""
+        try:
+            provenance = self._provenance(job.payload) if self._provenance else {}
+        except Exception as error:  # noqa: BLE001 - provenance is best-effort
+            provenance = {"provenance_error": f"{type(error).__name__}: {error}"}
+        last_error: Optional[OSError] = None
+        for attempt in range(STORE_WRITE_ATTEMPTS):
+            try:
+                self._store.put(job.digest, report, provenance=provenance)
+                return
+            except OSError as error:
+                last_error = error
+                if attempt + 1 < STORE_WRITE_ATTEMPTS:
+                    with self._lock:
+                        self._store_write_retries += 1
+                    time.sleep(0.05 * (2 ** attempt))
+        job.error = f"result store write failed: {last_error}"
+
     def _run_job(self, job: Job) -> None:
+        faults.log_event(
+            "job.started", id=job.id, digest=job.digest, attempts=job.attempts
+        )
+        if self._journal is not None and self._store is not None:
+            # Journal-recovered and cross-process jobs may have been
+            # answered between journaling and claiming (e.g. a pre-crash
+            # worker stored the result but died before finishing the row).
+            # Serving the stored answer here is what makes "no digest is
+            # synthesized twice" hold across restarts.
+            entry = self._store.get(job.digest)
+            if entry is not None:
+                job.report = entry.report
+                job.cached = True
+                with self._lock:
+                    self._store_answers += 1
+                self._finish(job, JobState.SUCCEEDED)
+                return
         try:
             if self._pool is not None:
                 report = self._run_in_pool(job)
@@ -450,6 +897,8 @@ class JobScheduler:
             return
         except BaseException as error:  # noqa: BLE001 - never kill a worker
             job.error = f"{type(error).__name__}: {error}"
+            if _is_transient(error) and self._maybe_retry(job):
+                return
             self._finish(job, JobState.FAILED)
             return
         job.report = report
@@ -477,13 +926,7 @@ class JobScheduler:
         # for this digest — exactly as config-timeout reports were before
         # cooperative budgets existed (warm replays must reproduce them).
         if self._store is not None:
-            try:
-                provenance = (
-                    self._provenance(job.payload) if self._provenance else {}
-                )
-                self._store.put(job.digest, report, provenance=provenance)
-            except OSError as error:
-                job.error = f"result store write failed: {error}"
+            self._store_put_with_retry(job, report)
         self._finish(job, JobState.SUCCEEDED)
 
     def _finish(self, job: Job, state: JobState) -> None:
@@ -495,10 +938,36 @@ class JobScheduler:
             job.finished_at = time.time()
             self._active.pop(job.digest, None)
             self._finished_counts[state] += 1
+            self._recent_finishes.append(
+                (
+                    job.finished_at,
+                    max(0.0, job.finished_at - (job.started_at or job.created_at)),
+                )
+            )
             # Bound memory: remember only the newest terminal jobs for
-            # status/result lookups; completed results stay in the store.
+            # status/result lookups; completed results stay in the store,
+            # and an id → digest crumb distinguishes "evicted" from
+            # "never existed".
             self._finished_order.append(job.id)
             while len(self._finished_order) > self._retention:
-                evicted = self._finished_order.popleft()
-                self._jobs.pop(evicted, None)
+                evicted_id = self._finished_order.popleft()
+                evicted_job = self._jobs.pop(evicted_id, None)
+                if evicted_job is not None:
+                    self._evicted_digests[evicted_id] = evicted_job.digest
+            while len(self._evicted_digests) > EVICTED_DIGEST_RETENTION:
+                self._evicted_digests.popitem(last=False)
+        if self._journal is not None:
+            try:
+                self._journal.finish(
+                    job.id, state.value, error=job.error, cached=job.cached
+                )
+            except Exception:  # noqa: BLE001 - a sick journal must not wedge jobs
+                pass
+        faults.log_event(
+            "job.finished",
+            id=job.id,
+            digest=job.digest,
+            state=state.value,
+            cached=job.cached,
+        )
         job._done.set()

@@ -32,7 +32,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from .api import LiftRequest, LiftingService, ServiceError
+from .api import (
+    LiftRequest,
+    LiftingService,
+    ServiceError,
+    ServiceOverloadedError,
+)
 
 #: Default service port (unassigned by IANA; "TACO" on a phone keypad is 8226,
 #: which is taken by some SNMP agents — 8642 is simply memorable and free).
@@ -66,8 +71,33 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self,
+        message: str,
+        status: int,
+        extra: Optional[Dict[str, object]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        payload: Dict[str, object] = {"error": message}
+        if extra:
+            payload.update(extra)
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_overloaded(self, error: ServiceOverloadedError) -> None:
+        """429 with the Retry-After the drain-rate estimate implies."""
+        self._send_error_json(
+            str(error),
+            429,
+            extra={"retry_after": error.retry_after, "queue_depth": error.depth},
+            headers={"Retry-After": str(error.retry_after)},
+        )
 
     def _read_json_body(self) -> Optional[Dict[str, object]]:
         try:
@@ -106,13 +136,21 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         parts = self._split()
         if parts == ("healthz",):
-            self._send_json({"ok": True})
+            self._send_json(self.service.health())
         elif parts == ("stats",):
             self._send_json(self.service.stats())
         elif len(parts) == 2 and parts[0] == "status":
             status = self.service.status(parts[1])
             if status is None:
                 self._send_error_json(f"unknown job {parts[1]!r}", 404)
+            elif status.get("evicted") and not status.get("stored"):
+                # Distinct from "unknown": the job existed but aged out of
+                # the retention ring, and its digest is no longer stored.
+                self._send_error_json(
+                    f"job {parts[1]!r} was evicted from the retention ring",
+                    404,
+                    extra=status,
+                )
             else:
                 self._send_json(status)
         elif len(parts) == 2 and parts[0] == "result":
@@ -124,12 +162,23 @@ class _Handler(BaseHTTPRequestHandler):
                 except ValueError:
                     self._send_error_json(f"invalid wait value {raw_wait!r}", 400)
                     return
-            if self.service.status(parts[1]) is None:
+            status = self.service.status(parts[1])
+            if status is None:
                 self._send_error_json(f"unknown job {parts[1]!r}", 404)
                 return
             result = self.service.result(parts[1], wait=wait)
             if result is None:
-                self._send_error_json(f"job {parts[1]!r} is not finished", 409)
+                if status.get("evicted"):
+                    # Evicted and the store no longer holds the digest:
+                    # a JSON 404 that says so, not an indistinct miss.
+                    self._send_error_json(
+                        f"job {parts[1]!r} was evicted from the retention "
+                        f"ring and its result is no longer stored",
+                        404,
+                        extra=status,
+                    )
+                else:
+                    self._send_error_json(f"job {parts[1]!r} is not finished", 409)
             else:
                 self._send_json(result)
         else:
@@ -145,6 +194,9 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.service.submit(LiftRequest.from_payload(data))
             except ServiceError as error:
                 self._send_error_json(str(error), 400)
+                return
+            except ServiceOverloadedError as error:
+                self._send_overloaded(error)
                 return
             self._send_json(
                 {"job_id": job.id, "state": job.state.value, "cached": job.cached},
@@ -163,16 +215,35 @@ class _Handler(BaseHTTPRequestHandler):
             except ServiceError as error:
                 self._send_error_json(str(error), 400)
                 return
-            jobs = self.service.submit_batch(requests)
-            self._send_json(
-                {
-                    "jobs": [
-                        {"job_id": j.id, "state": j.state.value, "cached": j.cached}
-                        for j in jobs
-                    ]
-                },
-                status=202,
-            )
+            # Submit one by one so admission control can shed the tail of
+            # an overlong batch: accepted jobs are reported either way.
+            jobs = []
+            overload: Optional[ServiceOverloadedError] = None
+            for request in requests:
+                try:
+                    jobs.append(self.service.submit(request))
+                except ServiceOverloadedError as error:
+                    overload = error
+                    break
+            body: Dict[str, object] = {
+                "jobs": [
+                    {"job_id": j.id, "state": j.state.value, "cached": j.cached}
+                    for j in jobs
+                ]
+            }
+            if overload is not None:
+                body["error"] = str(overload)
+                body["retry_after"] = overload.retry_after
+                body["rejected"] = len(requests) - len(jobs)
+                payload_bytes = json.dumps(body).encode("utf-8")
+                self.send_response(429)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload_bytes)))
+                self.send_header("Retry-After", str(overload.retry_after))
+                self.end_headers()
+                self.wfile.write(payload_bytes)
+                return
+            self._send_json(body, status=202)
         else:
             self._send_error_json(f"no such endpoint: POST {self.path}", 404)
 

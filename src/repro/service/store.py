@@ -34,7 +34,13 @@ from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
+from . import faults
 from .digest import STORE_SCHEMA_VERSION, describe_lifter, jsonable, lift_digest
+
+#: How many writes between automatic LRU eviction sweeps when the store
+#: was constructed with limits.  Sweeps scan the object directory, so
+#: running one per write would be quadratic in steady state.
+AUTO_EVICT_EVERY = 32
 
 
 def _git_sha(root: Optional[Path] = None) -> str:
@@ -80,15 +86,30 @@ class StoreEntry:
 
 
 class ResultStore:
-    """A content-addressed, crash-safe JSON store of completed lifts."""
+    """A content-addressed, crash-safe JSON store of completed lifts.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    ``max_entries`` / ``max_bytes`` arm LRU eviction over the provenance
+    ``created_at`` timestamps: every :data:`AUTO_EVICT_EVERY` writes (and
+    on demand via :meth:`evict`) the oldest entries are dropped until the
+    store fits, so a long-lived service cannot grow its cache without
+    bound.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self._root = Path(root)
         self._objects = self._root / f"v{STORE_SCHEMA_VERSION}" / "objects"
         self._lock = Lock()
         self._hits = 0
         self._misses = 0
         self._writes = 0
+        self._evictions = 0
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -109,12 +130,17 @@ class ResultStore:
     def writes(self) -> int:
         return self._writes
 
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "writes": self._writes,
+                "evictions": self._evictions,
                 "entries": sum(1 for _ in self.digests()),
             }
 
@@ -164,6 +190,7 @@ class ResultStore:
         provenance: Optional[Mapping[str, object]] = None,
     ) -> Path:
         """Persist *report* under *digest* atomically; returns the path."""
+        faults.fail_point("store.put")
         path = self._path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         merged: Dict[str, object] = {
@@ -191,7 +218,103 @@ class ResultStore:
             raise
         with self._lock:
             self._writes += 1
+            writes = self._writes
+        if (
+            (self._max_entries is not None or self._max_bytes is not None)
+            and writes % AUTO_EVICT_EVERY == 0
+        ):
+            self.evict(self._max_entries, self._max_bytes)
         return path
+
+    # ------------------------------------------------------------------ #
+    # Eviction / compaction
+    # ------------------------------------------------------------------ #
+    def _entry_age_key(self, path: Path) -> float:
+        """When the entry was created (provenance timestamp, mtime fallback)."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            created = data.get("provenance", {}).get("created_at")
+            if isinstance(created, (int, float)):
+                return float(created)
+        except (OSError, ValueError, AttributeError):
+            pass
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
+
+    def evict(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> List[str]:
+        """Drop the oldest entries until the store fits; returns their digests.
+
+        "Oldest" is by the provenance ``created_at`` each entry already
+        carries (falling back to file mtime for entries written by code
+        predating provenance) — LRU in the sense that matters for a
+        content-addressed cache, where a re-queried digest is re-written
+        with a fresh timestamp.  Empty shard directories are compacted
+        away afterwards.  Limits default to the ones the store was
+        constructed with; with no limit at all this is a no-op.
+        """
+        max_entries = max_entries if max_entries is not None else self._max_entries
+        max_bytes = max_bytes if max_bytes is not None else self._max_bytes
+        if max_entries is None and max_bytes is None:
+            return []
+        if not self._objects.is_dir():
+            return []
+        entries: List[tuple] = []  # (created_at, size, path)
+        for shard in self._objects.iterdir():
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                entries.append((self._entry_age_key(path), size, path))
+        entries.sort(key=lambda item: item[0])
+        total_bytes = sum(size for _, size, _ in entries)
+        count = len(entries)
+        evicted: List[str] = []
+        for _, size, path in entries:
+            over_entries = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total_bytes -= size
+            evicted.append(path.stem)
+        if evicted:
+            self.compact()
+            with self._lock:
+                self._evictions += len(evicted)
+        return evicted
+
+    def compact(self) -> int:
+        """Remove empty shard directories; returns how many were dropped."""
+        removed = 0
+        if not self._objects.is_dir():
+            return removed
+        for shard in self._objects.iterdir():
+            if not shard.is_dir():
+                continue
+            try:
+                next(shard.iterdir())
+            except StopIteration:
+                try:
+                    shard.rmdir()
+                    removed += 1
+                except OSError:
+                    pass
+            except OSError:
+                pass
+        return removed
 
 
 class CachedLifter:

@@ -7,8 +7,10 @@ import json
 import pytest
 
 from repro.bench.runner import (
+    BenchColdPathError,
     BenchOverwriteError,
     REPO_ROOT,
+    check_cold_path,
     check_overwrite,
     current_git_sha,
     resolve_output,
@@ -154,3 +156,45 @@ def test_check_overwrite(tmp_path):
     with pytest.raises(BenchOverwriteError):
         check_overwrite(path, force=False)
     check_overwrite(path, force=True)  # forced: fine
+
+
+class TestColdPathGuard:
+    """Bench records and serving-tier state must never share a directory."""
+
+    def test_plain_directory_is_fine(self, tmp_path):
+        check_cold_path(tmp_path / "BENCH_t.json")
+
+    def test_refuses_store_directory(self, tmp_path):
+        (tmp_path / "v1" / "objects").mkdir(parents=True)
+        with pytest.raises(BenchColdPathError):
+            check_cold_path(tmp_path / "BENCH_t.json")
+
+    def test_refuses_inside_store_tree(self, tmp_path):
+        (tmp_path / "v1" / "objects").mkdir(parents=True)
+        with pytest.raises(BenchColdPathError):
+            check_cold_path(tmp_path / "v1" / "objects" / "BENCH_t.json")
+
+    def test_refuses_journal_directory(self, tmp_path):
+        (tmp_path / "jobs.journal.sqlite3").write_bytes(b"")
+        with pytest.raises(BenchColdPathError):
+            check_cold_path(tmp_path / "BENCH_t.json")
+
+    def test_run_bench_refuses_before_measuring(self, tmp_path, monkeypatch):
+        def exploding_suite(**kwargs):  # pragma: no cover - must not run
+            raise AssertionError("measurement ran despite the cold-path guard")
+
+        monkeypatch.setattr("repro.evaluation.perf.run_perf_suite", exploding_suite)
+        (tmp_path / "jobs.journal.sqlite3").write_bytes(b"")
+        with pytest.raises(BenchColdPathError):
+            run_bench(tag="warm", root=tmp_path)
+
+    def test_serve_refuses_bench_record_directory(self, tmp_path, capsys):
+        (tmp_path / "BENCH_pr9.json").write_text("{}")
+        assert main([
+            "serve", "--port", "0", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "BENCH_*.json" in capsys.readouterr().err
+        assert main([
+            "serve", "--port", "0",
+            "--journal", str(tmp_path / "jobs.journal.sqlite3"),
+        ]) == 2

@@ -157,6 +157,48 @@ class TestScheduling:
         finally:
             scheduler.shutdown()
 
+    def test_transient_failures_retry_in_memory(self):
+        calls = []
+
+        def flaky(payload):
+            calls.append(payload)
+            if len(calls) < 2:
+                raise OSError("socket flake")
+            return _report(str(payload))
+
+        scheduler = JobScheduler(flaky, workers=1)
+        try:
+            job = scheduler.submit("x", digest="dflake")
+            assert job.wait(30)
+            assert job.state is JobState.SUCCEEDED
+            assert len(calls) == 2
+            assert scheduler.stats()["retried"] == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_store_writes_ride_out_transient_failures(self, tmp_path):
+        store = ResultStore(tmp_path)
+        original_put = store.put
+        failures = iter([OSError("disk hiccup")])
+
+        def flaky_put(*args, **kwargs):
+            for error in failures:
+                raise error
+            return original_put(*args, **kwargs)
+
+        store.put = flaky_put
+        scheduler = JobScheduler(
+            lambda payload: _report(str(payload)), store=store, workers=1
+        )
+        try:
+            job = scheduler.submit("x", digest="ab" * 32)
+            assert job.wait(10)
+            assert job.state is JobState.SUCCEEDED
+            assert ("ab" * 32) in store
+            assert scheduler.stats()["store_write_retries"] == 1
+        finally:
+            scheduler.shutdown()
+
     def test_jobs_are_evicted_beyond_retention(self):
         scheduler = JobScheduler(
             lambda payload: _report(str(payload)), workers=1, job_retention=3
@@ -189,6 +231,79 @@ class TestScheduling:
             # Cancelled jobs cannot be cancelled twice, nor can finished ones.
             assert not scheduler.cancel(queued.id)
             assert not scheduler.cancel(blocker.id)
+        finally:
+            scheduler.shutdown()
+
+    def test_evicted_jobs_leave_digest_crumbs(self):
+        scheduler = JobScheduler(
+            lambda payload: _report(str(payload)), workers=1, job_retention=1
+        )
+        try:
+            jobs = [scheduler.submit(i, digest=f"dcrumb{i}") for i in range(3)]
+            for job in jobs:
+                assert job.wait(10)
+            evicted = [j for j in jobs if scheduler.job(j.id) is None]
+            assert evicted  # retention=1 must have evicted something
+            for job in evicted:
+                assert scheduler.evicted_digest(job.id) == job.digest
+            assert scheduler.evicted_digest("job-never-existed") is None
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_running_cooperative_job_beats_the_commit(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def cooperative(payload, budget=None, observer=None):
+            started.set()
+            assert release.wait(10)
+            # The pipeline's poll point: a cancelled budget stops the run.
+            return _report(str(payload), success=False)
+
+        scheduler = JobScheduler(cooperative, workers=1)
+        try:
+            job = scheduler.submit("x", digest="dcancel")
+            assert started.wait(10)
+            # Cancellation races _finish: here it lands while the job is
+            # mid-run, so the commit point must observe the cancelled
+            # budget and finish CANCELLED, never SUCCEEDED.
+            assert scheduler.cancel(job.id)
+            release.set()
+            assert job.wait(10)
+            assert job.state is JobState.CANCELLED
+            assert scheduler.stats()["cancelled"] == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_refuses_once_the_report_is_committed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        original_put = store.put
+        writing = threading.Event()
+        release = threading.Event()
+
+        def slow_put(*args, **kwargs):
+            writing.set()
+            assert release.wait(10)
+            return original_put(*args, **kwargs)
+
+        store.put = slow_put
+
+        def cooperative(payload, budget=None, observer=None):
+            return _report(str(payload))
+
+        scheduler = JobScheduler(cooperative, store=store, workers=1)
+        try:
+            job = scheduler.submit("x", digest="cd" * 32)
+            assert writing.wait(10)
+            # The job is still RUNNING (its store write is in flight) but
+            # the report is committed: cancel() must refuse rather than
+            # report a cancellation that cannot take effect.
+            assert job.state is JobState.RUNNING
+            assert not scheduler.cancel(job.id)
+            release.set()
+            assert job.wait(10)
+            assert job.state is JobState.SUCCEEDED
+            assert ("cd" * 32) in store
         finally:
             scheduler.shutdown()
 

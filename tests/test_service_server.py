@@ -60,7 +60,10 @@ def _submit_and_wait(server, payload, wait: float = 60.0):
 class TestEndpoints:
     def test_healthz(self, server):
         status, body = _get(server, "/healthz")
-        assert status == 200 and body == {"ok": True}
+        assert status == 200 and body["ok"] is True
+        # The liveness probe doubles as the backlog gauge.
+        assert body["queue_depth"] == 0
+        assert "oldest_queued_age" in body
 
     def test_submit_result_round_trip(self, server):
         payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
