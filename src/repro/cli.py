@@ -30,6 +30,10 @@ The CLI exposes the library's main entry points without writing any Python:
 ``python -m repro jobs``
     Inspect a service job journal (newest-first listing, per-state
     counts) and ``--requeue`` failed or interrupted jobs.
+``python -m repro trace summarize|tree|slowest <file>``
+    Reconstruct the span trees in a ``repro-trace-v1`` JSONL file (from
+    ``repro lift --trace``, ``repro serve --trace`` or ``REPRO_TRACE``)
+    and print a time breakdown, the indented trees, or the slowest lifts.
 ``python -m repro bench``
     Run the candidate-throughput microbenchmarks and write a
     ``BENCH_<tag>.json`` trajectory record (``--trajectory`` prints the
@@ -181,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
         "layout as the service's); repeated identical lifts are answered "
         "from the store without re-running synthesis",
     )
+    lift.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append a repro-trace-v1 span tree of this lift (stages, "
+        "search heartbeats, validator stats, portfolio races) to FILE as "
+        "JSONL; inspect with `repro trace`",
+    )
 
     subparsers.add_parser(
         "methods", help="list the registered lifting methods (for --method)"
@@ -277,6 +287,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--store-max-bytes", type=int, default=None,
         help="LRU cap on the result store's total payload bytes",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append repro-trace-v1 job lifecycle spans and per-lift span "
+        "trees to FILE as JSONL (equivalent to setting REPRO_TRACE=FILE); "
+        "inspect with `repro trace`",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a repro-trace-v1 JSONL trace file"
+    )
+    trace.add_argument(
+        "action", choices=("summarize", "tree", "slowest"),
+        help="summarize: per-span-name time breakdown; tree: indented span "
+        "trees with events; slowest: root spans ranked by duration",
+    )
+    trace.add_argument("file", help="trace JSONL file (from --trace / REPRO_TRACE)")
+    trace.add_argument(
+        "--limit", type=int, default=10,
+        help="how many root spans `slowest` lists (default: 10)",
     )
 
     jobs = subparsers.add_parser(
@@ -572,15 +602,29 @@ def _cmd_lift(args: argparse.Namespace) -> int:
         print(error.args[0], file=sys.stderr)
         return 1
     observer = PrintObserver() if args.verbose else None
-    cached = False
-    if args.cache_dir:
-        from .service import CachedLifter
+    tracer = None
+    if args.trace:
+        from .lifting import CompositeObserver
+        from .obs import TraceWriter, TracingObserver
 
-        lifter = CachedLifter(synthesizer, args.cache_dir)
-        report = lifter.lift(task, observer=observer)
-        cached = lifter.store.hits > 0
-    else:
-        report = synthesizer.lift(task, observer=observer)
+        tracer = TracingObserver(TraceWriter(args.trace), task=task.name)
+        observer = CompositeObserver(observer, tracer)
+    cached = False
+    report = None
+    try:
+        if args.cache_dir:
+            from .service import CachedLifter
+
+            lifter = CachedLifter(synthesizer, args.cache_dir)
+            report = lifter.lift(task, observer=observer)
+            cached = lifter.store.hits > 0
+        else:
+            report = synthesizer.lift(task, observer=observer)
+    finally:
+        if tracer is not None:
+            success = report is not None and report.success
+            tracer.close(success=success, method=name, cached=cached)
+            print(f"trace appended to {args.trace}", file=sys.stderr)
     print(report.summary() + (" [served from cache]" if cached else ""))
     if not report.success:
         if report.error:
@@ -736,6 +780,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if error:
             print(error, file=sys.stderr)
             return 2
+    if args.trace:
+        from .obs import trace as obs_trace
+
+        obs_trace.configure(args.trace)
     service = LiftingService(
         cache_dir=args.cache_dir,
         workers=args.workers,
@@ -891,6 +939,31 @@ def _submit_payload(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import TraceSchemaError, load_trace
+    from .obs.report import build_forest, render_slowest, render_summary, render_tree
+
+    try:
+        records = load_trace(args.file)
+    except FileNotFoundError:
+        print(f"no trace file at {args.file}", file=sys.stderr)
+        return 1
+    except TraceSchemaError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    traces = build_forest(records)
+    if not traces:
+        print(f"{args.file}: no spans", file=sys.stderr)
+        return 1
+    if args.action == "tree":
+        print(render_tree(traces))
+    elif args.action == "slowest":
+        print(render_slowest(traces, limit=args.limit))
+    else:
+        print(render_summary(traces))
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import urllib.error
 
@@ -1012,6 +1085,7 @@ _COMMANDS = {
     "lift": _cmd_lift,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "bench": _cmd_bench,

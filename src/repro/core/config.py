@@ -149,5 +149,12 @@ class StaggConfig:
         service keys its result store on (a hash of) this dictionary.  The
         ``label`` is deliberately included: evaluation records carry the
         method label, and a store entry must replay records verbatim.
+
+        ``limits.progress_interval`` is deliberately *excluded*: heartbeat
+        cadence is observational and must never retire store digests.
         """
-        return {str(k): jsonable(v) for k, v in asdict(self).items()}
+        digest = {str(k): jsonable(v) for k, v in asdict(self).items()}
+        limits = digest.get("limits")
+        if isinstance(limits, dict):
+            limits.pop("progress_interval", None)
+        return digest

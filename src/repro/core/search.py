@@ -28,12 +28,13 @@ CandidateChecker = Callable[
 SEARCH_PROGRESS_INTERVAL = 512
 
 
-#: Observers that already triggered an exception warning.  A WeakSet so a
-#: long-lived process doesn't pin every broken observer it ever saw; an
-#: observer is warned about at most once, however many events it breaks on.
-#: The lock serialises check-then-add: portfolio members share one observer
-#: across racing threads.
-_WARNED_OBSERVERS = weakref.WeakSet()
+#: Broken observers mapped to the set of event names they already failed
+#: on.  A WeakKeyDictionary so a long-lived process doesn't pin every
+#: broken observer it ever saw; each *(observer, event)* pair is warned
+#: about at most once, so an observer that breaks on a second, different
+#: event is still diagnosable.  The lock serialises check-then-add:
+#: portfolio members share one observer across racing threads.
+_WARNED_OBSERVERS = weakref.WeakKeyDictionary()
 _WARNED_OBSERVERS_LOCK = threading.Lock()
 
 
@@ -46,8 +47,9 @@ def safe_notify(observer, method: str, *args) -> None:
     ``observer=None`` is the common fast path and returns immediately.
 
     Swallowed exceptions are not fully silent: the first failure of each
-    observer emits a :class:`RuntimeWarning`, so a broken observer is
-    diagnosable without ever being able to abort a lift.
+    *(observer, event)* pair emits a :class:`RuntimeWarning` naming the
+    event, so a broken observer is diagnosable without ever being able to
+    abort a lift.
     """
     if observer is None:
         return
@@ -56,9 +58,13 @@ def safe_notify(observer, method: str, *args) -> None:
     except Exception as error:  # noqa: BLE001 - observers are untrusted plugins
         try:
             with _WARNED_OBSERVERS_LOCK:
-                already_warned = observer in _WARNED_OBSERVERS
+                failed_events = _WARNED_OBSERVERS.get(observer)
+                already_warned = failed_events is not None and method in failed_events
                 if not already_warned:
-                    _WARNED_OBSERVERS.add(observer)
+                    if failed_events is None:
+                        failed_events = set()
+                        _WARNED_OBSERVERS[observer] = failed_events
+                    failed_events.add(method)
         except TypeError:  # not weak-referenceable: warn on every failure
             already_warned = False
         if not already_warned:
@@ -75,9 +81,20 @@ def safe_notify(observer, method: str, *args) -> None:
                 pass  # break the "observers never abort a lift" contract
 
 
-def notify_search_progress(observer, nodes_expanded: int, candidates_tried: int) -> None:
-    """Heartbeat an observer from inside a search loop, swallowing errors."""
-    safe_notify(observer, "search_progress", nodes_expanded, candidates_tried)
+def notify_search_progress(observer, nodes_expanded: int, candidates_tried: int,
+                           elapsed_seconds: float = 0.0,
+                           duplicates_pruned: int = 0) -> None:
+    """Heartbeat an observer from inside a search loop, swallowing errors.
+
+    ``nodes_per_sec`` is derived here (not in the search loop) so every
+    observer sees the same unit economics without each search repeating
+    the division.
+    """
+    nodes_per_sec = nodes_expanded / elapsed_seconds if elapsed_seconds > 0 else 0.0
+    safe_notify(
+        observer, "search_progress",
+        nodes_expanded, candidates_tried, nodes_per_sec, duplicates_pruned,
+    )
 
 
 @dataclass(frozen=True)
@@ -96,6 +113,10 @@ class SearchLimits:
     #: expansion whose sentential-form state (yield plus expression-nesting
     #: levels) was already enqueued at no worse cost is skipped.
     prune_duplicates: bool = True
+    #: Expansions between ``search_progress`` heartbeats (0 disables them).
+    #: Observational only — excluded from :meth:`StaggConfig.digest_dict`,
+    #: so changing the cadence never retires store digests.
+    progress_interval: int = SEARCH_PROGRESS_INTERVAL
 
 
 @dataclass

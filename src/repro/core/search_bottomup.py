@@ -27,7 +27,6 @@ from .search import (
     CandidateChecker,
     Deadline,
     PriorityQueue,
-    SEARCH_PROGRESS_INTERVAL,
     SearchLimits,
     SearchOutcome,
     VisitedForms,
@@ -60,6 +59,8 @@ class BottomUpSearch:
         """Run the search; ``budget``/``observer`` cooperatively bound/watch it."""
         outcome = SearchOutcome(success=False)
         deadline = Deadline(self._limits.timeout_seconds, budget)
+        # Hoisted: the heartbeat guard runs once per expansion.
+        progress_interval = self._limits.progress_interval if observer is not None else 0
         queue = PriorityQueue()
         checked: set[str] = set()
         visited = VisitedForms() if self._limits.prune_duplicates else None
@@ -75,9 +76,10 @@ class BottomUpSearch:
                 break
             _priority, (tree, accumulated_cost) = queue.pop()
             outcome.nodes_expanded += 1
-            if outcome.nodes_expanded % SEARCH_PROGRESS_INTERVAL == 0:
+            if progress_interval and outcome.nodes_expanded % progress_interval == 0:
                 notify_search_progress(
-                    observer, outcome.nodes_expanded, outcome.candidates_tried
+                    observer, outcome.nodes_expanded, outcome.candidates_tried,
+                    deadline.elapsed(), outcome.duplicates_pruned,
                 )
 
             symbols = tree.yield_symbols()

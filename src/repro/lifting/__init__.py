@@ -31,6 +31,7 @@ from .budget import Budget, BudgetExceeded
 from .checking import TaskHarness, build_check, build_harness, check_candidate
 from .descriptor import describe_lifter, describe_oracle
 from .observer import (
+    CompositeObserver,
     LiftObserver,
     PrintObserver,
     RecordingObserver,
@@ -108,6 +109,7 @@ __all__ = [
     "Lifter",
     "Budget",
     "BudgetExceeded",
+    "CompositeObserver",
     "LiftObserver",
     "PrintObserver",
     "RecordingObserver",

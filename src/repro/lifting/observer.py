@@ -10,8 +10,8 @@ Observer contract
 -----------------
 
 * Callbacks run on the lifting thread and must be cheap — they sit on the
-  search hot path (albeit only every :data:`SEARCH_PROGRESS_INTERVAL`
-  expansions).
+  search hot path (albeit only every ``SearchLimits.progress_interval``
+  expansions, :data:`SEARCH_PROGRESS_INTERVAL` by default).
 * Observer exceptions never abort a lift: every notification goes through
   :func:`safe_notify` (canonical implementation in
   :mod:`repro.core.search`), which swallows them.
@@ -25,6 +25,7 @@ from typing import Callable, List, Optional
 from ..core.search import SEARCH_PROGRESS_INTERVAL, safe_notify
 
 __all__ = [
+    "CompositeObserver",
     "LiftObserver",
     "PrintObserver",
     "RecordingObserver",
@@ -65,11 +66,22 @@ class LiftObserver:
     def stage_skipped(self, stage: str, task_name: str) -> None:
         """A stage was skipped because its artifacts were already populated."""
 
-    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+    def search_progress(self, nodes_expanded: int, candidates_tried: int,
+                        nodes_per_sec: float = 0.0,
+                        duplicates_pruned: int = 0) -> None:
         """Periodic heartbeat from inside a running search."""
 
     def candidate_accepted(self, program: str) -> None:
         """A candidate passed validation and bounded verification."""
+
+    def validator_stats(self, candidates: int, screen_rejects: int,
+                        exact_checks: int, seconds: float) -> None:
+        """Tier counters from the validator after a search completes.
+
+        Emitted once per search stage (cold path): total candidates seen,
+        how many the float screen rejected, how many reached the exact
+        tier, and the search's wall clock — candidates/sec is derivable.
+        """
 
     # -------------------------------------------------------------- #
     # Portfolio events (see repro.portfolio): callbacks may arrive
@@ -105,14 +117,25 @@ class PrintObserver(LiftObserver):
     def stage_skipped(self, stage: str, task_name: str) -> None:
         self._emit(f"[{task_name}] stage {stage} skipped (resumed from state)")
 
-    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+    def search_progress(self, nodes_expanded: int, candidates_tried: int,
+                        nodes_per_sec: float = 0.0,
+                        duplicates_pruned: int = 0) -> None:
+        rate = f", {nodes_per_sec:.0f} nodes/s" if nodes_per_sec else ""
         self._emit(
             f"  search: {nodes_expanded} nodes expanded, "
-            f"{candidates_tried} candidates tried"
+            f"{candidates_tried} candidates tried{rate}"
         )
 
     def candidate_accepted(self, program: str) -> None:
         self._emit(f"  accepted: {program}")
+
+    def validator_stats(self, candidates: int, screen_rejects: int,
+                        exact_checks: int, seconds: float) -> None:
+        rate = f" ({candidates / seconds:.0f}/s)" if seconds > 0 else ""
+        self._emit(
+            f"  validator: {candidates} candidates{rate}, "
+            f"{screen_rejects} screened out, {exact_checks} exact checks"
+        )
 
     def member_started(self, member: str, task_name: str) -> None:
         self._emit(f"[{task_name}] member {member} started")
@@ -154,11 +177,22 @@ class RecordingObserver(LiftObserver):
     def stage_skipped(self, stage: str, task_name: str) -> None:
         self._record(("stage_skipped", stage, task_name))
 
-    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
-        self._record(("search_progress", nodes_expanded, candidates_tried))
+    def search_progress(self, nodes_expanded: int, candidates_tried: int,
+                        nodes_per_sec: float = 0.0,
+                        duplicates_pruned: int = 0) -> None:
+        self._record((
+            "search_progress", nodes_expanded, candidates_tried,
+            nodes_per_sec, duplicates_pruned,
+        ))
 
     def candidate_accepted(self, program: str) -> None:
         self._record(("candidate_accepted", program))
+
+    def validator_stats(self, candidates: int, screen_rejects: int,
+                        exact_checks: int, seconds: float) -> None:
+        self._record((
+            "validator_stats", candidates, screen_rejects, exact_checks, seconds,
+        ))
 
     def member_started(self, member: str, task_name: str) -> None:
         self._record(("member_started", member, task_name))
@@ -177,3 +211,65 @@ class RecordingObserver(LiftObserver):
     def stages(self, kind: str = "stage_finished") -> List[str]:
         """The stage names seen for one event kind, in order."""
         return [event[1] for event in self.events if event[0] == kind]
+
+
+class CompositeObserver(LiftObserver):
+    """Fan every event out to several child observers, isolating failures.
+
+    Each child is notified through its own :func:`safe_notify`, so one
+    broken child can neither abort the lift *nor* suppress delivery to
+    its siblings — without this, wrapping ``[broken, tracer]`` in a
+    single observer would let ``broken``'s exception swallow the
+    ``portfolio_winner`` the tracer needed.
+    """
+
+    def __init__(self, *observers: Optional[LiftObserver]) -> None:
+        self._children = tuple(obs for obs in observers if obs is not None)
+
+    @property
+    def children(self) -> tuple:
+        return self._children
+
+    def _fan_out(self, method: str, *args) -> None:
+        for child in self._children:
+            safe_notify(child, method, *args)
+
+    def stage_started(self, stage: str, task_name: str) -> None:
+        self._fan_out("stage_started", stage, task_name)
+
+    def stage_finished(self, stage: str, task_name: str, seconds: float) -> None:
+        self._fan_out("stage_finished", stage, task_name, seconds)
+
+    def stage_skipped(self, stage: str, task_name: str) -> None:
+        self._fan_out("stage_skipped", stage, task_name)
+
+    def search_progress(self, nodes_expanded: int, candidates_tried: int,
+                        nodes_per_sec: float = 0.0,
+                        duplicates_pruned: int = 0) -> None:
+        self._fan_out(
+            "search_progress", nodes_expanded, candidates_tried,
+            nodes_per_sec, duplicates_pruned,
+        )
+
+    def candidate_accepted(self, program: str) -> None:
+        self._fan_out("candidate_accepted", program)
+
+    def validator_stats(self, candidates: int, screen_rejects: int,
+                        exact_checks: int, seconds: float) -> None:
+        self._fan_out(
+            "validator_stats", candidates, screen_rejects, exact_checks, seconds,
+        )
+
+    def member_started(self, member: str, task_name: str) -> None:
+        self._fan_out("member_started", member, task_name)
+
+    def member_finished(
+        self, member: str, task_name: str, success: bool, seconds: float
+    ) -> None:
+        self._fan_out("member_finished", member, task_name, success, seconds)
+
+    def member_cancelled(self, member: str, task_name: str) -> None:
+        self._fan_out("member_cancelled", member, task_name)
+
+    def portfolio_winner(self, member: str, task_name: str) -> None:
+        self._fan_out("portfolio_winner", member, task_name)

@@ -326,6 +326,15 @@ class SearchStage(Stage):
                 state.pcfg, state.dimension_list, evaluator, check, config.limits
             )
         state.outcome = search.run(budget=budget, observer=observer)
+        if observer is not None:
+            # Cold path (once per search): surface the validator's tier
+            # counters so traces capture candidates/sec unit economics.
+            stats = harness.validator.stats
+            safe_notify(
+                observer, "validator_stats",
+                stats.candidates, stats.screen_rejects, stats.exact_checks,
+                state.outcome.elapsed_seconds,
+            )
 
 
 #: The canonical stage sequence (stateless stage objects, shared freely).

@@ -1,0 +1,53 @@
+"""Observability for ``repro``: span tracing, metrics, trace reports.
+
+Three pieces, one discipline:
+
+* :mod:`repro.obs.schema` — the strict ``repro-trace-v1`` JSONL schema
+  (spans + events, byte-identical round-trip).
+* :mod:`repro.obs.trace` — :class:`TraceWriter` (append-only JSONL) and
+  :class:`TracingObserver` (the ``LiftObserver`` → span-tree bridge),
+  plus process-wide arming via ``REPRO_TRACE`` for the service.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket latency histograms, rendered in Prometheus
+  text format for ``GET /metrics``.
+
+Disabled telemetry costs one ``is None`` check on hot paths.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .schema import (
+    SCHEMA_VERSION as TRACE_SCHEMA_VERSION,
+    EventRecord,
+    SpanRecord,
+    TraceRecord,
+    TraceSchemaError,
+    dump_record,
+    load_trace,
+    record_from_dict,
+)
+from .trace import TraceWriter, TracingObserver, job_span_id
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceRecord",
+    "TraceSchemaError",
+    "TraceWriter",
+    "TracingObserver",
+    "TRACE_SCHEMA_VERSION",
+    "dump_record",
+    "job_span_id",
+    "load_trace",
+    "record_from_dict",
+]

@@ -1,0 +1,326 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+The service's ad-hoc integer counters migrate onto this registry so that
+``GET /stats`` and ``GET /metrics`` read the *same* cells and can never
+drift apart.  Three instrument kinds exist:
+
+* :class:`Counter` — monotonically increasing total.
+* :class:`Gauge` — a settable value, or a callback sampled at render
+  time (queue depth, store entries).
+* :class:`Histogram` — fixed upper-bound buckets plus an implicit
+  ``+Inf`` bucket; ``sum``/``count`` and interpolated quantiles
+  (p50/p95/p99) are derivable from the bucket counts alone, exactly as
+  Prometheus derives them server-side.
+
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` rows,
+``_bucket``/``_sum``/``_count`` for histograms) for ``GET /metrics``.
+
+Everything is thread-safe and dependency-free.  Incrementing a counter
+is one lock acquisition — cheap enough for scheduler bookkeeping, and
+nothing here is ever called from the validator's inner loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default buckets for job/lift latencies (seconds).  Wide enough to cover
+#: a cache hit (~ms) through a full budgeted synthesis (minutes).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(items: LabelItems, extra: LabelItems = ()) -> str:
+    merged = items + extra
+    if not merged:
+        return ""
+    body = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in merged)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for decrements")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A settable value, or a zero-argument callback sampled on read."""
+
+    kind = "gauge"
+
+    def __init__(self, fn: Optional[Callable[[], Optional[float]]] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            sampled = fn()
+            return 0.0 if sampled is None else float(sampled)
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit ``+Inf`` bucket.
+
+    Bucket counts are *cumulative at render time only*; internally each
+    slot counts observations that fell in its half-open interval, which
+    keeps :meth:`observe` a single index + increment.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bucket bounds must be distinct")
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds + (float("inf"),), counts):
+            running += count
+            pairs.append((bound, running))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile by linear interpolation within buckets.
+
+        Mirrors Prometheus's ``histogram_quantile``: the rank is located
+        in its cumulative bucket and interpolated between the bucket's
+        bounds.  Observations in the ``+Inf`` bucket clamp to the largest
+        finite bound.  Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        pairs = self.cumulative()
+        total = pairs[-1][1]
+        if total == 0:
+            return 0.0
+        rank = q * total
+        previous_bound = 0.0
+        previous_cumulative = 0
+        for bound, cumulative in pairs:
+            if cumulative >= rank:
+                if bound == float("inf"):
+                    return self.bounds[-1]
+                bucket_count = cumulative - previous_cumulative
+                if bucket_count == 0:
+                    return bound
+                fraction = (rank - previous_cumulative) / bucket_count
+                return previous_bound + (bound - previous_bound) * fraction
+            previous_bound = bound
+            previous_cumulative = cumulative
+        return self.bounds[-1]
+
+
+Instrument = object  # Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Named, optionally labelled instruments with Prometheus rendering.
+
+    Instruments are keyed by ``(name, sorted label items)``; asking for
+    the same key returns the same instrument, so call sites can hold a
+    direct reference (hot paths never pay a registry lookup).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelItems], Instrument] = {}
+        self._help: Dict[str, str] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get_or_create(self, name: str, kind: str, help_text: str,
+                       labels: Optional[Mapping[str, str]],
+                       factory: Callable[[], Instrument]) -> Instrument:
+        items = _label_items(labels)
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {existing_kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            key = (name, items)
+            instrument = self._metrics.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._metrics[key] = instrument
+                self._kinds[name] = kind
+                if help_text or name not in self._help:
+                    self._help[name] = help_text
+            return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._get_or_create(name, "counter", help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[Mapping[str, str]] = None,
+              fn: Optional[Callable[[], Optional[float]]] = None) -> Gauge:
+        return self._get_or_create(name, "gauge", help_text, labels, lambda: Gauge(fn))
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Optional[Mapping[str, str]] = None,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            name, "histogram", help_text, labels, lambda: Histogram(buckets)
+        )
+
+    def value(self, name: str, labels: Optional[Mapping[str, str]] = None) -> float:
+        """Read one counter/gauge value (stats endpoints use this)."""
+        instrument = self._metrics.get((name, _label_items(labels)))
+        if instrument is None:
+            return 0.0
+        if isinstance(instrument, Histogram):
+            return float(instrument.count)
+        return instrument.value  # type: ignore[union-attr]
+
+    def _grouped(self) -> Iterable[Tuple[str, List[Tuple[LabelItems, Instrument]]]]:
+        with self._lock:
+            snapshot = dict(self._metrics)
+        by_name: Dict[str, List[Tuple[LabelItems, Instrument]]] = {}
+        for (name, items), instrument in snapshot.items():
+            by_name.setdefault(name, []).append((items, instrument))
+        for name in sorted(by_name):
+            yield name, sorted(by_name[name], key=lambda pair: pair[0])
+
+    def render(self) -> str:
+        """Render every instrument in the Prometheus text format.
+
+        Gauge callbacks are sampled here — never call :meth:`render`
+        while holding a lock that a callback needs.
+        """
+        lines: List[str] = []
+        for name, series in self._grouped():
+            kind = self._kinds[name]
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for items, instrument in series:
+                if isinstance(instrument, Histogram):
+                    for bound, cumulative in instrument.cumulative():
+                        le = (("le", _format_value(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(items, le)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(items)} "
+                        f"{_format_value(instrument.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(items)} {instrument.count}"
+                    )
+                else:
+                    value = instrument.value  # type: ignore[union-attr]
+                    lines.append(f"{name}{_render_labels(items)} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat scalar view for trace flushing and assertions.
+
+        Counters/gauges map to their value; histograms expand into
+        ``_count``/``_sum``/``_p50``/``_p95``/``_p99`` entries.
+        """
+        flat: Dict[str, float] = {}
+        for name, series in self._grouped():
+            for items, instrument in series:
+                suffix = "".join(f"_{k}_{v}" for k, v in items)
+                key = f"{name}{suffix}"
+                if isinstance(instrument, Histogram):
+                    flat[f"{key}_count"] = float(instrument.count)
+                    flat[f"{key}_sum"] = instrument.sum
+                    flat[f"{key}_p50"] = instrument.quantile(0.50)
+                    flat[f"{key}_p95"] = instrument.quantile(0.95)
+                    flat[f"{key}_p99"] = instrument.quantile(0.99)
+                else:
+                    flat[key] = float(instrument.value)  # type: ignore[union-attr]
+        return flat

@@ -1,0 +1,252 @@
+"""Typed schema for ``repro`` trace files (append-only JSONL).
+
+A trace file holds one JSON record per line.  Two record kinds exist:
+
+* ``span`` — a named interval (``start``..``end``) inside one trace: a
+  pipeline stage, a portfolio member's run, a service job's lifetime or
+  the whole lift.  Spans form a tree through ``parent_id``.
+* ``event`` — a point-in-time annotation attached to a span: a search
+  heartbeat, an accepted candidate, the validator's tier counters, a job
+  lifecycle transition, the portfolio winner.
+
+Records validate *strictly*, with the same discipline as
+:mod:`repro.bench.schema`: a missing, renamed or mistyped field raises
+:class:`TraceSchemaError` with the exact JSON path, unknown keys are
+rejected, and :meth:`to_dict` round-trips byte-identically (records are
+serialised with sorted keys, so ``dumps(load(line)) == line``).  Attribute
+values are restricted to JSON scalars — traces are flat telemetry, not a
+nested document store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+#: The trace schema identifier this module understands.
+SCHEMA_VERSION = "repro-trace-v1"
+
+#: The two record kinds a trace file may contain.
+RECORD_KINDS = ("span", "event")
+
+#: The JSON-scalar types an ``attrs`` value may take.
+AttrValue = Union[str, int, float, bool, None]
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not match the expected schema."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.json_path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+def _require_mapping(data: object, path: str) -> Mapping:
+    if not isinstance(data, Mapping):
+        raise TraceSchemaError(path, f"expected an object, got {type(data).__name__}")
+    return data
+
+
+def _check_keys(data: Mapping, path: str, required: Tuple[str, ...],
+                optional: Tuple[str, ...] = ()) -> None:
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise TraceSchemaError(path, f"missing required field(s): {', '.join(missing)}")
+    unknown = [key for key in data if key not in required and key not in optional]
+    if unknown:
+        raise TraceSchemaError(
+            path,
+            f"unknown field(s): {', '.join(sorted(unknown))} — if the schema "
+            f"grew a field, teach repro.obs.schema about it",
+        )
+
+
+def _number(data: Mapping, key: str, path: str) -> float:
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceSchemaError(
+            f"{path}.{key}", f"expected a number, got {type(value).__name__}"
+        )
+    return value
+
+
+def _string(data: Mapping, key: str, path: str) -> str:
+    value = data[key]
+    if not isinstance(value, str):
+        raise TraceSchemaError(
+            f"{path}.{key}", f"expected a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _optional_string(data: Mapping, key: str, path: str) -> Optional[str]:
+    value = data[key]
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise TraceSchemaError(
+            f"{path}.{key}", f"expected a string or null, got {type(value).__name__}"
+        )
+    return value
+
+
+def _attrs(data: Mapping, key: str, path: str) -> Dict[str, AttrValue]:
+    mapping = _require_mapping(data[key], f"{path}.{key}")
+    attrs: Dict[str, AttrValue] = {}
+    for name, value in mapping.items():
+        if not isinstance(name, str):
+            raise TraceSchemaError(f"{path}.{key}", "attribute names must be strings")
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TraceSchemaError(
+                f"{path}.{key}.{name}",
+                f"attribute values must be JSON scalars, got {type(value).__name__}",
+            )
+        attrs[name] = value
+    return attrs
+
+
+def _check_schema_and_kind(data: Mapping, path: str, kind: str) -> None:
+    schema = _string(data, "schema", path)
+    if schema != SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"{path}.schema",
+            f"expected {SCHEMA_VERSION!r}, got {schema!r}",
+        )
+    actual = _string(data, "kind", path)
+    if actual != kind:
+        raise TraceSchemaError(f"{path}.kind", f"expected {kind!r}, got {actual!r}")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One interval in a trace (a node of the span tree)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "span") -> "SpanRecord":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping,
+            path,
+            ("schema", "kind", "trace_id", "span_id", "parent_id", "name",
+             "start", "end", "attrs"),
+        )
+        _check_schema_and_kind(mapping, path, "span")
+        return cls(
+            trace_id=_string(mapping, "trace_id", path),
+            span_id=_string(mapping, "span_id", path),
+            parent_id=_optional_string(mapping, "parent_id", path),
+            name=_string(mapping, "name", path),
+            start=_number(mapping, "start", path),
+            end=_number(mapping, "end", path),
+            attrs=_attrs(mapping, "attrs", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One point-in-time annotation attached to a span."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    ts: float
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "event") -> "EventRecord":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping, path, ("schema", "kind", "trace_id", "span_id", "name", "ts", "attrs")
+        )
+        _check_schema_and_kind(mapping, path, "event")
+        return cls(
+            trace_id=_string(mapping, "trace_id", path),
+            span_id=_string(mapping, "span_id", path),
+            name=_string(mapping, "name", path),
+            ts=_number(mapping, "ts", path),
+            attrs=_attrs(mapping, "attrs", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "event",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "ts": self.ts,
+            "attrs": dict(self.attrs),
+        }
+
+
+TraceRecord = Union[SpanRecord, EventRecord]
+
+
+def record_from_dict(data: object, path: str = "record") -> TraceRecord:
+    """Validate one decoded JSONL record and return its typed form."""
+    mapping = _require_mapping(data, path)
+    kind = mapping.get("kind")
+    if kind == "span":
+        return SpanRecord.from_dict(mapping, path)
+    if kind == "event":
+        return EventRecord.from_dict(mapping, path)
+    raise TraceSchemaError(
+        f"{path}.kind", f"expected one of {RECORD_KINDS}, got {kind!r}"
+    )
+
+
+def dump_record(record: TraceRecord) -> str:
+    """One canonical JSONL line for *record* (sorted keys, no trailing \\n).
+
+    Canonical serialisation is what makes the round-trip guarantee bytes-
+    strong: ``dump_record(record_from_dict(json.loads(line))) == line``.
+    """
+    return json.dumps(record.to_dict(), sort_keys=True)
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Load and strictly validate every record of a trace file.
+
+    Unlike the fault log's forgiving reader, a trace that fails validation
+    raises — with the 1-based line number in the error path — because the
+    tracer is ours: a malformed line is a bug, not noise.
+    """
+    records: List[TraceRecord] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as error:
+            raise TraceSchemaError(f"line {lineno}", f"invalid JSON: {error}") from None
+        records.append(record_from_dict(data, f"line {lineno}"))
+    return records

@@ -99,11 +99,23 @@ class _MemberObserver(LiftObserver):
     def stage_skipped(self, stage: str, task_name: str) -> None:
         safe_notify(self._parent, "stage_skipped", stage, self._tag(task_name))
 
-    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
-        safe_notify(self._parent, "search_progress", nodes_expanded, candidates_tried)
+    def search_progress(self, nodes_expanded: int, candidates_tried: int,
+                        nodes_per_sec: float = 0.0,
+                        duplicates_pruned: int = 0) -> None:
+        safe_notify(
+            self._parent, "search_progress",
+            nodes_expanded, candidates_tried, nodes_per_sec, duplicates_pruned,
+        )
 
     def candidate_accepted(self, program: str) -> None:
         safe_notify(self._parent, "candidate_accepted", program)
+
+    def validator_stats(self, candidates: int, screen_rejects: int,
+                        exact_checks: int, seconds: float) -> None:
+        safe_notify(
+            self._parent, "validator_stats",
+            candidates, screen_rejects, exact_checks, seconds,
+        )
 
 
 class MemberScheduler:
@@ -204,11 +216,14 @@ class MemberScheduler:
         for run in runs:
             if run.succeeded and (winner is None or run.index < winner.index):
                 winner = run
+        # Winner first, cancellations after: observers (and traces) see
+        # member_started < portfolio_winner < member_cancelled per member,
+        # so a reader knows *why* the losers were cancelled.
+        if winner is not None:
+            safe_notify(observer, "portfolio_winner", winner.name, task_name)
         for run in runs:
             if winner is not None and run.index != winner.index and run.cancelled:
                 safe_notify(observer, "member_cancelled", run.name, task_name)
-        if winner is not None:
-            safe_notify(observer, "portfolio_winner", winner.name, task_name)
         return runs, winner
 
     @staticmethod

@@ -20,7 +20,7 @@ Requests come in two shapes:
 from __future__ import annotations
 
 import json
-import threading
+import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -31,6 +31,8 @@ from ..lifting import Budget, LiftObserver, Lifter, method_name_for, resolve_met
 from ..llm import OracleConfig, StaticOracle, SyntheticOracle
 from ..suite import get_benchmark
 from . import faults
+from ..obs import MetricsRegistry
+from ..obs import trace as obs_trace
 from .digest import lift_digest
 from .journal import DEFAULT_MAX_ATTEMPTS, JobJournal
 from .scheduler import Job, JobScheduler
@@ -243,6 +245,23 @@ def request_digest(request: LiftRequest) -> str:
     return lift_digest(task, build_lifter(request).descriptor())
 
 
+_GIT_SHA: List[Optional[str]] = []
+
+
+def _service_git_sha() -> Optional[str]:
+    """The checkout's HEAD sha for /healthz provenance, memoized.
+
+    Memoized process-wide: the sha cannot change under a running service,
+    and the subprocess probe should not tax every service construction
+    (tests build many).
+    """
+    if not _GIT_SHA:
+        from ..bench.runner import current_git_sha
+
+        _GIT_SHA.append(current_git_sha())
+    return _GIT_SHA[0]
+
+
 def _encode_request(request: LiftRequest) -> str:
     """Journal payload codec: a request as canonical JSON."""
     return json.dumps(request.to_payload(), sort_keys=True)
@@ -291,13 +310,42 @@ class LiftingService:
         self._max_queue_depth = (
             max(0, int(max_queue_depth)) if max_queue_depth is not None else None
         )
-        self._lock = threading.Lock()
-        self._submitted = 0
-        # Rejections are ops telemetry worth keeping across restarts: the
-        # journal's meta table persists the lifetime count.
-        self._rejected = (
-            self._journal.meta_get("rejected_total") if self._journal else 0
+        self._started_at = time.time()
+        self._git_sha = _service_git_sha()
+        # One registry for the whole service: scheduler counters, request
+        # admission counters and store gauges all live here, so GET /stats
+        # and GET /metrics can never drift apart.
+        self.metrics = MetricsRegistry()
+        self._submitted = self.metrics.counter(
+            "repro_requests_submitted_total", "Requests accepted by submit()"
         )
+        self._rejected = self.metrics.counter(
+            "repro_requests_rejected_total",
+            "Requests refused by admission control (HTTP 429)",
+        )
+        # Rejections are ops telemetry worth keeping across restarts: the
+        # journal's meta table persists the lifetime count, which seeds the
+        # counter so the exposed total stays lifetime-accurate.
+        if self._journal is not None:
+            self._rejected.inc(self._journal.meta_get("rejected_total"))
+        self.metrics.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since this service process started",
+            fn=lambda: time.time() - self._started_at,
+        )
+        if self._store is not None:
+            store = self._store
+            for key, help_text in (
+                ("hits", "Result-store lookups answered"),
+                ("misses", "Result-store lookups missed"),
+                ("writes", "Result-store entries written"),
+                ("evictions", "Result-store entries evicted (LRU)"),
+                ("entries", "Result-store entries currently present"),
+            ):
+                self.metrics.gauge(
+                    f"repro_store_{key}", help_text,
+                    fn=lambda key=key: store.stats().get(key, 0),
+                )
         # Provenance records the request payload only; the lifter identity
         # is already pinned by the digest the entry is stored under.
         self._scheduler = JobScheduler(
@@ -309,6 +357,7 @@ class LiftingService:
             journal=self._journal,
             max_attempts=max_attempts,
             payload_codec=(_encode_request, _decode_request),
+            metrics=self.metrics,
         )
 
     @property
@@ -343,18 +392,17 @@ class LiftingService:
             depth = self._scheduler.queue_depth()
             if depth >= self._max_queue_depth and not self._would_attach(digest):
                 retry_after = self._scheduler.estimate_retry_after(depth)
-                with self._lock:
-                    self._rejected += 1
-                    rejected = self._rejected
+                self._rejected.inc()
                 if self._journal is not None:
-                    self._journal.meta_set("rejected_total", rejected)
+                    self._journal.meta_set(
+                        "rejected_total", int(self._rejected.value)
+                    )
                 faults.log_event(
                     "job.rejected", digest=digest, depth=depth,
                     retry_after=retry_after,
                 )
                 raise ServiceOverloadedError(depth, retry_after)
-        with self._lock:
-            self._submitted += 1
+        self._submitted.inc()
         return self._scheduler.submit(
             request, digest, priority=request.priority, timeout=request.timeout
         )
@@ -440,20 +488,27 @@ class LiftingService:
         return None
 
     def health(self) -> Dict[str, object]:
-        """The ``GET /healthz`` body: liveness plus the backlog gauges."""
+        """``GET /healthz``: liveness, backlog gauges, and provenance."""
+        from .. import __version__
+
         oldest = self._scheduler.oldest_queued_age()
         return {
             "ok": True,
             "queue_depth": self._scheduler.queue_depth(),
             "oldest_queued_age": oldest,
             "journal": str(self._journal.path) if self._journal else None,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "git_sha": self._git_sha,
+            "version": __version__,
         }
 
     def stats(self) -> Dict[str, object]:
+        """``GET /stats``: every counter here reads a metrics-registry
+        cell, so this body and ``GET /metrics`` cannot disagree."""
         scheduler_stats = self._scheduler.stats()
         stats: Dict[str, object] = {
-            "submitted": self._submitted,
-            "rejected": self._rejected,
+            "submitted": int(self._submitted.value),
+            "rejected": int(self._rejected.value),
             # Flattened copies of the load-shedding gauges, so dashboards
             # (and the acceptance e2e) read them without digging.
             "queue_depth": scheduler_stats["queue_depth"],
@@ -465,6 +520,10 @@ class LiftingService:
             stats["store"] = self._store.stats()
         return stats
 
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition format)."""
+        return self.metrics.render()
+
     def close(self, drain: Optional[bool] = None) -> None:
         """Shut down: stop workers, flush counters, close the journal.
 
@@ -473,9 +532,16 @@ class LiftingService:
         one, the historical drain-everything behaviour is kept.
         """
         self._scheduler.shutdown(drain=drain)
+        tracer = obs_trace.writer()
+        if tracer is not None:
+            # Final flush on drain (SIGTERM path included): a scalar
+            # snapshot of every metric, so a scraped-then-killed service
+            # still leaves its terminal counters in the trace log.
+            tracer.event(
+                "service", "service", "service.metrics", **self.metrics.snapshot()
+            )
         if self._journal is not None:
-            with self._lock:
-                self._journal.meta_set("rejected_total", self._rejected)
+            self._journal.meta_set("rejected_total", int(self._rejected.value))
             self._journal.close()
 
     def __enter__(self) -> "LiftingService":

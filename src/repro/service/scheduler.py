@@ -66,7 +66,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.result import SynthesisReport
 from ..lifting import Budget, LiftObserver
-from ..lifting.observer import tagged_member
+from ..lifting.observer import CompositeObserver, tagged_member
+from ..obs import MetricsRegistry
+from ..obs import trace as obs_trace
+from ..obs.trace import TracingObserver, job_span_id
 from . import faults
 from .journal import (
     DEFAULT_MAX_ATTEMPTS,
@@ -215,7 +218,9 @@ class _JobObserver(LiftObserver):
         else:
             self._job.stage = f"{stage} (cached)"
 
-    def search_progress(self, nodes_expanded: int, candidates_tried: int) -> None:
+    def search_progress(self, nodes_expanded: int, candidates_tried: int,
+                        nodes_per_sec: float = 0.0,
+                        duplicates_pruned: int = 0) -> None:
         prefix = "portfolio search" if self._racing else "search"
         self._job.stage = f"{prefix}:{nodes_expanded}"
 
@@ -279,6 +284,7 @@ class JobScheduler:
         payload_codec: Optional[
             Tuple[Callable[[object], str], Callable[[str], object]]
         ] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"scheduler needs at least one worker, got {workers}")
@@ -306,20 +312,62 @@ class JobScheduler:
         self._evicted_digests: "OrderedDict[str, str]" = OrderedDict()
         self._shutdown = False
         self._drain_on_shutdown = True
-        self._deduplicated = 0
-        self._store_answers = 0
-        self._budget_truncated = 0
-        self._retried = 0
-        self._recovered = 0
-        self._store_write_retries = 0
+        # Lifetime counters live on the metrics registry, so GET /stats and
+        # GET /metrics read the same cells and can never drift apart.  Call
+        # sites hold direct Counter references — no registry lookup on the
+        # job paths.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._deduplicated = self.metrics.counter(
+            "repro_jobs_deduplicated_total",
+            "Submissions coalesced onto an already queued/running digest",
+        )
+        self._store_answers = self.metrics.counter(
+            "repro_jobs_store_answers_total",
+            "Submissions answered from the content-addressed result store",
+        )
+        self._budget_truncated = self.metrics.counter(
+            "repro_jobs_budget_truncated_total",
+            "Jobs cut short by their wall-clock budget",
+        )
+        self._retried = self.metrics.counter(
+            "repro_jobs_retried_total",
+            "Transiently-failed jobs re-enqueued with backoff",
+        )
+        self._recovered = self.metrics.counter(
+            "repro_jobs_recovered_total",
+            "Journal rows re-adopted at startup after a crash",
+        )
+        self._store_write_retries = self.metrics.counter(
+            "repro_store_write_retries_total",
+            "Transient result-store write failures retried in place",
+        )
+        self._finished_counts = {
+            state: self.metrics.counter(
+                "repro_jobs_finished_total",
+                "Jobs reaching a terminal state, by state",
+                labels={"state": state.value},
+            )
+            for state in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+        }
+        self._job_duration = self.metrics.histogram(
+            "repro_job_duration_seconds",
+            "Run time of terminal jobs (claim to finish; p50/p95/p99 derivable)",
+        )
+        self._job_queue_wait = self.metrics.histogram(
+            "repro_job_queue_wait_seconds",
+            "Time terminal jobs spent queued before being claimed",
+        )
+        self.metrics.gauge(
+            "repro_queue_depth", "Jobs waiting to run", fn=self.queue_depth
+        )
+        self.metrics.gauge(
+            "repro_oldest_queued_age_seconds",
+            "Age of the oldest queued job",
+            fn=self.oldest_queued_age,
+        )
         #: (finished_at, duration) of recent terminal jobs — the drain-rate
         #: sample backing Retry-After estimates.
         self._recent_finishes: deque = deque(maxlen=32)
-        self._finished_counts = {
-            JobState.SUCCEEDED: 0,
-            JobState.FAILED: 0,
-            JobState.CANCELLED: 0,
-        }
         if self._journal is not None:
             self._recover_from_journal()
         self._pool_workers = workers
@@ -377,7 +425,7 @@ class JobScheduler:
             faults.log_event(
                 "job.recovered", id=job.id, digest=job.digest, attempts=job.attempts
             )
-        self._recovered = adopted
+        self._recovered.inc(adopted)
         if adopted:
             self._journal.meta_set(
                 "recovered_total",
@@ -407,7 +455,7 @@ class JobScheduler:
             existing = self._active.get(digest)
             if existing is not None:
                 existing.submissions += 1
-                self._deduplicated += 1
+                self._deduplicated.inc()
                 if self._journal is not None:
                     self._journal.record_attach(existing.id)
                 return existing
@@ -418,7 +466,7 @@ class JobScheduler:
                 job.report = entry.report
                 job.cached = True
                 with self._lock:
-                    self._store_answers += 1
+                    self._store_answers.inc()
                     self._jobs[job.id] = job
                 if self._journal is not None:
                     self._journal.record_cached(
@@ -446,7 +494,7 @@ class JobScheduler:
             existing = self._active.get(digest)
             if existing is not None:
                 existing.submissions += 1
-                self._deduplicated += 1
+                self._deduplicated.inc()
                 if self._journal is not None:
                     self._journal.record_attach(existing.id)
                     self._journal.finish(
@@ -457,6 +505,7 @@ class JobScheduler:
             self._active[digest] = job
             heapq.heappush(self._queue, (priority, next(self._sequence), job))
             self._work_ready.notify()
+        self._trace_job_event(job, "job.queued", ts=job.created_at)
         return job
 
     def _encode_json_payload(self, payload: object) -> str:
@@ -473,7 +522,7 @@ class JobScheduler:
             local = self._jobs.get(duplicate.existing_id)
             if local is not None and not local.state.terminal:
                 local.submissions += 1
-                self._deduplicated += 1
+                self._deduplicated.inc()
                 self._journal.record_attach(local.id)
                 return local
         # The active row belongs to another server process sharing this
@@ -481,7 +530,7 @@ class JobScheduler:
         # resolves via the journal for status/result lookups.
         self._journal.record_attach(duplicate.existing_id)
         with self._lock:
-            self._deduplicated += 1
+            self._deduplicated.inc()
         row = self._journal.row(duplicate.existing_id)
         snapshot = self._materialize(row) if row is not None else None
         if snapshot is None:  # pragma: no cover - row vanished mid-attach
@@ -622,17 +671,17 @@ class JobScheduler:
             return {
                 "queued": sum(1 for s in states if s is JobState.QUEUED),
                 "running": sum(1 for s in states if s is JobState.RUNNING),
-                "succeeded": self._finished_counts[JobState.SUCCEEDED],
-                "failed": self._finished_counts[JobState.FAILED],
-                "cancelled": self._finished_counts[JobState.CANCELLED],
-                "deduplicated": self._deduplicated,
-                "store_answers": self._store_answers,
-                "budget_truncated": self._budget_truncated,
+                "succeeded": int(self._finished_counts[JobState.SUCCEEDED].value),
+                "failed": int(self._finished_counts[JobState.FAILED].value),
+                "cancelled": int(self._finished_counts[JobState.CANCELLED].value),
+                "deduplicated": int(self._deduplicated.value),
+                "store_answers": int(self._store_answers.value),
+                "budget_truncated": int(self._budget_truncated.value),
                 "queue_depth": queue_depth,
                 "oldest_queued_age": oldest,
-                "retried": self._retried,
-                "recovered": self._recovered,
-                "store_write_retries": self._store_write_retries,
+                "retried": int(self._retried.value),
+                "recovered": int(self._recovered.value),
+                "store_write_retries": int(self._store_write_retries.value),
             }
 
     def shutdown(
@@ -660,6 +709,24 @@ class JobScheduler:
                 thread.join(timeout)
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------ #
+    # Job lifecycle tracing (no-ops unless a trace writer is armed)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _task_label(job: Job) -> str:
+        for attr in ("benchmark", "name"):
+            value = getattr(job.payload, attr, None)
+            if value:
+                return str(value)
+        return job.digest[:12]
+
+    def _trace_job_event(self, job: Job, name: str,
+                         ts: Optional[float] = None, **attrs: object) -> None:
+        tracer = obs_trace.writer()
+        if tracer is not None:
+            tracer.event(job.id, job_span_id(job.id), name, ts=ts,
+                         digest=job.digest, **attrs)
 
     # ------------------------------------------------------------------ #
     # Workers
@@ -824,7 +891,7 @@ class JobScheduler:
             job.started_at = None
             job.budget = None
             job.stage = ""
-            self._retried += 1
+            self._retried.inc()
             heapq.heappush(self._queue, (job.priority, next(self._sequence), job))
             self._work_ready.notify()
         faults.log_event(
@@ -852,13 +919,16 @@ class JobScheduler:
                 last_error = error
                 if attempt + 1 < STORE_WRITE_ATTEMPTS:
                     with self._lock:
-                        self._store_write_retries += 1
+                        self._store_write_retries.inc()
                     time.sleep(0.05 * (2 ** attempt))
         job.error = f"result store write failed: {last_error}"
 
     def _run_job(self, job: Job) -> None:
         faults.log_event(
             "job.started", id=job.id, digest=job.digest, attempts=job.attempts
+        )
+        self._trace_job_event(
+            job, "job.claimed", ts=job.started_at, attempts=job.attempts
         )
         if self._journal is not None and self._store is not None:
             # Journal-recovered and cross-process jobs may have been
@@ -871,9 +941,10 @@ class JobScheduler:
                 job.report = entry.report
                 job.cached = True
                 with self._lock:
-                    self._store_answers += 1
+                    self._store_answers.inc()
                 self._finish(job, JobState.SUCCEEDED)
                 return
+        lift_tracer: Optional[TracingObserver] = None
         try:
             if self._pool is not None:
                 report = self._run_in_pool(job)
@@ -884,24 +955,43 @@ class JobScheduler:
                 # pipeline (oracle, search, validator), so a timeout stops
                 # the synthesis instead of abandoning the thread, and
                 # `cancel()` can stop a running job.
+                observer: LiftObserver = _JobObserver(job)
+                tracer = obs_trace.writer()
+                if tracer is not None:
+                    # Armed tracing: the lift's span tree hangs under the
+                    # job's lifetime span (trace_id = job id).
+                    self._trace_job_event(job, "job.running")
+                    lift_tracer = TracingObserver(
+                        tracer,
+                        task=self._task_label(job),
+                        trace_id=job.id,
+                        parent_id=job_span_id(job.id),
+                    )
+                    observer = CompositeObserver(observer, lift_tracer)
                 report = self._executor(
-                    job.payload, budget=job.budget, observer=_JobObserver(job)
+                    job.payload, budget=job.budget, observer=observer
                 )
             else:
                 report = self._executor(job.payload)
         except _JobOverrun as overrun:
             job.error = str(overrun)
             with self._lock:
-                self._budget_truncated += 1
+                self._budget_truncated.inc()
+            if lift_tracer is not None:
+                lift_tracer.close(success=False, error="budget overrun")
             self._finish(job, JobState.FAILED)
             return
         except BaseException as error:  # noqa: BLE001 - never kill a worker
             job.error = f"{type(error).__name__}: {error}"
+            if lift_tracer is not None:
+                lift_tracer.close(success=False, error=job.error)
             if _is_transient(error) and self._maybe_retry(job):
                 return
             self._finish(job, JobState.FAILED)
             return
         job.report = report
+        if lift_tracer is not None:
+            lift_tracer.close(success=report.success, timed_out=report.timed_out)
         # Commit point: decided under the lock so it serializes with
         # cancel() — either the cancellation landed first (the run was
         # truncated; finish CANCELLED, never store) or the job is committed
@@ -913,7 +1003,7 @@ class JobScheduler:
             # whose report was cut short by its wall-clock budget (but not
             # explicitly cancelled) counts once, surfaced via GET /stats.
             if not cancelled and job.budget is not None and report.timed_out:
-                self._budget_truncated += 1
+                self._budget_truncated.inc()
         if cancelled:
             # An explicitly cancelled run stops at an arbitrary point, so its
             # truncated report is not the deterministic answer for this
@@ -937,13 +1027,14 @@ class JobScheduler:
             job.stage = ""
             job.finished_at = time.time()
             self._active.pop(job.digest, None)
-            self._finished_counts[state] += 1
-            self._recent_finishes.append(
-                (
-                    job.finished_at,
-                    max(0.0, job.finished_at - (job.started_at or job.created_at)),
+            self._finished_counts[state].inc()
+            duration = max(0.0, job.finished_at - (job.started_at or job.created_at))
+            self._job_duration.observe(duration)
+            if job.started_at is not None:
+                self._job_queue_wait.observe(
+                    max(0.0, job.started_at - job.created_at)
                 )
-            )
+            self._recent_finishes.append((job.finished_at, duration))
             # Bound memory: remember only the newest terminal jobs for
             # status/result lookups; completed results stay in the store,
             # and an id → digest crumb distinguishes "evicted" from
@@ -970,4 +1061,19 @@ class JobScheduler:
             state=state.value,
             cached=job.cached,
         )
+        tracer = obs_trace.writer()
+        if tracer is not None:
+            self._trace_job_event(
+                job, "job.done", ts=job.finished_at,
+                state=state.value, cached=job.cached,
+            )
+            # The job's lifetime span, written now that its end is known;
+            # lifecycle events referenced its deterministic id all along.
+            tracer.span(
+                job.id, job_span_id(job.id), None, "job",
+                job.created_at, job.finished_at,
+                id=job.id, digest=job.digest, state=state.value,
+                cached=job.cached, attempts=job.attempts,
+                task=self._task_label(job),
+            )
         job._done.set()

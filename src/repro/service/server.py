@@ -16,10 +16,13 @@ GET       ``/result/<id>``    Finished job incl. the full report; 409 while
                               the job is still queued/running.  Accepts
                               ``?wait=<seconds>`` to block for completion.
 GET       ``/stats``          Store + scheduler counters.
-GET       ``/healthz``        Liveness probe.
+GET       ``/healthz``        Liveness probe (+ uptime/git_sha/version).
+GET       ``/metrics``        Prometheus text exposition of the service's
+                              metrics registry (latency histograms incl.).
 ========  ==================  =============================================
 
-Responses are JSON; errors are ``{"error": "..."}`` with a 4xx status.
+Responses are JSON (``/metrics`` is ``text/plain``); errors are
+``{"error": "..."}`` with a 4xx status.
 The handler threads only touch the service object, which is thread-safe,
 so the server can take concurrent submissions from many clients.
 """
@@ -90,6 +93,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, body: str, status: int = 200,
+                   content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+                   ) -> None:
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
     def _send_overloaded(self, error: ServiceOverloadedError) -> None:
         """429 with the Retry-After the drain-rate estimate implies."""
         self._send_error_json(
@@ -139,6 +152,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self.service.health())
         elif parts == ("stats",):
             self._send_json(self.service.stats())
+        elif parts == ("metrics",):
+            self._send_text(self.service.metrics_text())
         elif len(parts) == 2 and parts[0] == "status":
             status = self.service.status(parts[1])
             if status is None:

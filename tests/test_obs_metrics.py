@@ -1,0 +1,180 @@
+"""Tests for the metrics registry (`repro.obs.metrics`).
+
+Covers the three instrument kinds, the interpolated quantiles the
+service's latency histograms rely on, and a golden rendering in the
+Prometheus text exposition format — the exact bytes ``GET /metrics``
+serves for a known registry state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_same_key_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"state": "ok"})
+        b = registry.counter("c", labels={"state": "ok"})
+        assert a is b
+        assert registry.counter("c", labels={"state": "bad"}) is not a
+
+    def test_thread_safe_increments(self):
+        counter = MetricsRegistry().counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_set_and_move(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_callback_sampled_on_read(self):
+        cell = [0]
+        gauge = MetricsRegistry().gauge("g", fn=lambda: cell[0])
+        cell[0] = 7
+        assert gauge.value == 7
+        cell[0] = 9
+        assert gauge.value == 9
+
+    def test_callback_returning_none_reads_zero(self):
+        gauge = MetricsRegistry().gauge("g", fn=lambda: None)
+        assert gauge.value == 0.0
+
+    def test_set_replaces_callback(self):
+        gauge = MetricsRegistry().gauge("g", fn=lambda: 42)
+        gauge.set(1)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_observations_land_in_half_open_buckets(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.1, 0.5, 5.0):
+            hist.observe(value)
+        # <=0.1 catches both 0.05 and the boundary value 0.1.
+        assert hist.cumulative() == [(0.1, 2), (1.0, 3), (float("inf"), 4)]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(5.65)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram(buckets=(1.0,))
+        for _ in range(4):
+            hist.observe(0.5)
+        # All mass in [0, 1]: the median interpolates to the midpoint.
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+
+    def test_quantile_clamps_inf_bucket_to_largest_bound(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 10.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.95) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_default_buckets_cover_cache_hit_to_full_budget(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.005
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 600.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_bucket_bounds_validated(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+        with pytest.raises(ValueError, match="distinct"):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("x")
+
+    def test_value_reads_counters_and_absent_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labels={"kind": "store"}).inc(3)
+        assert registry.value("hits", {"kind": "store"}) == 3
+        assert registry.value("hits", {"kind": "oracle"}) == 0.0
+        assert registry.value("never_registered") == 0.0
+
+    def test_snapshot_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(2)
+        hist = registry.histogram("latency", buckets=(1.0,))
+        hist.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["jobs_total"] == 2.0
+        assert snap["latency_count"] == 1.0
+        assert snap["latency_sum"] == pytest.approx(0.5)
+        assert 0.0 <= snap["latency_p50"] <= 1.0
+        assert "latency_p95" in snap and "latency_p99" in snap
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"q": 'say "hi"\n'}).inc()
+        rendered = registry.render()
+        assert 'c{q="say \\"hi\\"\\n"} 1' in rendered
+
+    def test_golden_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Total jobs", labels={"state": "succeeded"}).inc(3)
+        registry.counter("jobs_total", labels={"state": "failed"})
+        registry.gauge("queue_depth", "Jobs waiting").set(2)
+        hist = registry.histogram("latency_seconds", "Job latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        expected = "\n".join([
+            "# HELP jobs_total Total jobs",
+            "# TYPE jobs_total counter",
+            'jobs_total{state="failed"} 0',
+            'jobs_total{state="succeeded"} 3',
+            "# HELP latency_seconds Job latency",
+            "# TYPE latency_seconds histogram",
+            'latency_seconds_bucket{le="0.1"} 1',
+            'latency_seconds_bucket{le="1"} 2',
+            'latency_seconds_bucket{le="+Inf"} 3',
+            "latency_seconds_sum 5.55",
+            "latency_seconds_count 3",
+            "# HELP queue_depth Jobs waiting",
+            "# TYPE queue_depth gauge",
+            "queue_depth 2",
+        ]) + "\n"
+        assert registry.render() == expected
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""

@@ -1,0 +1,158 @@
+"""Strict-schema tests for ``repro-trace-v1`` records (`repro.obs.schema`).
+
+Same discipline as the bench-record schema tests: every record kind
+round-trips byte-identically through its canonical JSONL line, and any
+missing, renamed, mistyped or unknown field raises
+:class:`TraceSchemaError` with the exact JSON path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventRecord,
+    SpanRecord,
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    dump_record,
+    load_trace,
+    record_from_dict,
+)
+
+
+def _span_dict(**overrides):
+    data = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "span",
+        "trace_id": "t1",
+        "span_id": "s1",
+        "parent_id": None,
+        "name": "lift",
+        "start": 10.0,
+        "end": 12.5,
+        "attrs": {"task": "blend.add_pixels", "success": True},
+    }
+    data.update(overrides)
+    return data
+
+
+def _event_dict(**overrides):
+    data = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "event",
+        "trace_id": "t1",
+        "span_id": "s1",
+        "name": "search_progress",
+        "ts": 11.0,
+        "attrs": {"nodes_expanded": 512, "nodes_per_sec": 1024.5},
+    }
+    data.update(overrides)
+    return data
+
+
+class TestRoundTrip:
+    def test_span_round_trips_byte_identically(self):
+        line = json.dumps(_span_dict(), sort_keys=True)
+        record = record_from_dict(json.loads(line))
+        assert isinstance(record, SpanRecord)
+        assert dump_record(record) == line
+
+    def test_event_round_trips_byte_identically(self):
+        line = json.dumps(_event_dict(), sort_keys=True)
+        record = record_from_dict(json.loads(line))
+        assert isinstance(record, EventRecord)
+        assert dump_record(record) == line
+
+    def test_span_fields_and_duration(self):
+        span = SpanRecord.from_dict(_span_dict())
+        assert span.trace_id == "t1"
+        assert span.parent_id is None
+        assert span.duration == pytest.approx(2.5)
+        assert span.attrs["success"] is True
+
+    def test_negative_interval_clamps_duration(self):
+        span = SpanRecord.from_dict(_span_dict(start=12.0, end=11.0))
+        assert span.duration == 0.0
+
+    def test_load_trace_reads_what_writers_append(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps(_span_dict(), sort_keys=True),
+            json.dumps(_event_dict(), sort_keys=True),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        records = load_trace(path)
+        assert [type(r).__name__ for r in records] == ["SpanRecord", "EventRecord"]
+        # The byte-strong guarantee: re-dumping every loaded record
+        # reproduces the file's lines exactly.
+        assert [dump_record(r) for r in records] == lines
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n" + json.dumps(_span_dict(), sort_keys=True) + "\n\n",
+            encoding="utf-8",
+        )
+        assert len(load_trace(path)) == 1
+
+
+class TestStrictValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown field.*teach repro.obs.schema"):
+            SpanRecord.from_dict(_span_dict(extra=1))
+
+    def test_missing_field_rejected(self):
+        data = _span_dict()
+        del data["start"]
+        with pytest.raises(TraceSchemaError, match="missing required field.*start"):
+            SpanRecord.from_dict(data)
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(TraceSchemaError, match="repro-trace-v1"):
+            SpanRecord.from_dict(_span_dict(schema="repro-trace-v0"))
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(TraceSchemaError, match="kind"):
+            SpanRecord.from_dict(_span_dict(kind="event"))
+
+    def test_unrecognised_kind_rejected(self):
+        with pytest.raises(TraceSchemaError, match="kind"):
+            record_from_dict(_span_dict(kind="metric"))
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TraceSchemaError, match="expected an object"):
+            record_from_dict([1, 2, 3])
+
+    def test_mistyped_number_has_exact_path(self):
+        with pytest.raises(TraceSchemaError) as excinfo:
+            SpanRecord.from_dict(_span_dict(start="now"), path="line 3")
+        assert excinfo.value.json_path == "line 3.start"
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(TraceSchemaError, match="expected a number"):
+            EventRecord.from_dict(_event_dict(ts=True))
+
+    def test_parent_id_must_be_string_or_null(self):
+        with pytest.raises(TraceSchemaError, match="string or null"):
+            SpanRecord.from_dict(_span_dict(parent_id=7))
+
+    def test_nested_attr_value_rejected(self):
+        with pytest.raises(TraceSchemaError, match="JSON scalars"):
+            SpanRecord.from_dict(_span_dict(attrs={"nested": {"a": 1}}))
+
+    def test_load_trace_names_the_failing_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(_span_dict(), sort_keys=True)
+        bad = json.dumps(_span_dict(extra=1), sort_keys=True)
+        path.write_text(good + "\n" + bad + "\n", encoding="utf-8")
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            load_trace(path)
+
+    def test_load_trace_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("{not json\n", encoding="utf-8")
+        with pytest.raises(TraceSchemaError, match="line 1.*invalid JSON"):
+            load_trace(path)

@@ -65,6 +65,55 @@ class TestEndpoints:
         assert body["queue_depth"] == 0
         assert "oldest_queued_age" in body
 
+    def test_healthz_carries_provenance(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["uptime_seconds"] >= 0
+        assert body["version"]
+        assert "git_sha" in body  # None outside a git checkout, hex inside
+
+    def test_metrics_endpoint(self, server):
+        payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
+        _submit_and_wait(server, payload)
+        with urllib.request.urlopen(_base(server) + "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_jobs_finished_total counter" in text
+        assert 'repro_jobs_finished_total{state="succeeded"} 1' in text
+        # Job latency is a histogram with the full bucket ladder.
+        assert "# TYPE repro_job_duration_seconds histogram" in text
+        assert 'repro_job_duration_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_job_duration_seconds_count 1" in text
+        assert "repro_job_queue_wait_seconds_count 1" in text
+        assert "repro_queue_depth 0" in text
+        assert "repro_service_uptime_seconds" in text
+
+    def test_metrics_and_stats_cannot_drift(self, server):
+        payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
+        _submit_and_wait(server, payload)
+        _submit_and_wait(server, payload, wait=10.0)  # store answer
+        _, stats = _get(server, "/stats")
+        with urllib.request.urlopen(_base(server) + "/metrics") as response:
+            text = response.read().decode("utf-8")
+        metrics = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            key, _, value = line.rpartition(" ")
+            metrics[key] = float(value)
+        # /stats is re-backed by the same registry cells /metrics renders.
+        assert metrics["repro_requests_submitted_total"] == stats["submitted"]
+        assert metrics["repro_requests_rejected_total"] == stats["rejected"]
+        scheduler = stats["scheduler"]
+        assert metrics['repro_jobs_finished_total{state="succeeded"}'] == (
+            scheduler["succeeded"]
+        )
+        assert metrics["repro_jobs_store_answers_total"] == (
+            scheduler["store_answers"]
+        )
+        assert metrics["repro_store_hits"] == stats["store"]["hits"]
+
     def test_submit_result_round_trip(self, server):
         payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0}
         submission, result = _submit_and_wait(server, payload)
