@@ -45,6 +45,14 @@ VALIDATOR_SPEEDUP_MIN = 3.0
 #: record, the gate, and the printed summary can never drift apart.
 PORTFOLIO_GATE_RATIO = 1.25
 
+#: The PR-8 acceptance bar: lifting seeded from a populated retrieval
+#: index must beat the same method cold by at least this wall-clock
+#: factor over the warm-similar kernel set.  The measured speedup is an
+#: order of magnitude above this (tier-0 hits skip synthesis entirely);
+#: the conservative bar absorbs CI scheduler noise.  Embedded into every
+#: record (``retrieval.gate_speedup``) by the measurement harness.
+RETRIEVAL_GATE_SPEEDUP = 2.0
+
 _OPS = {
     ">=": lambda value, threshold: value >= threshold,
     "<=": lambda value, threshold: value <= threshold,
@@ -202,6 +210,26 @@ register_gate(
         threshold_ref="portfolio.best_member_solved",
         requires="portfolio",
         description="PR-4 bar: the portfolio solves at least its best member's count",
+    )
+)
+register_gate(
+    Gate(
+        gate_id="retrieval-seeded-speedup",
+        metric="retrieval.speedup",
+        op=">=",
+        threshold_ref="retrieval.gate_speedup",
+        requires="retrieval",
+        description="PR-8 bar: similarity-seeded lifting vs. the same method cold",
+    )
+)
+register_gate(
+    Gate(
+        gate_id="retrieval-solves-cold",
+        metric="retrieval.warm.solved",
+        op=">=",
+        threshold_ref="retrieval.cold.solved",
+        requires="retrieval",
+        description="PR-8 bar: seeding must never cost a solve the cold run had",
     )
 )
 

@@ -165,14 +165,36 @@ def summarize(record: Dict[str, object]) -> str:
             f"{portfolio['wallclock_ratio']:.2f}x wall-clock "
             f"(gate: <= {portfolio.get('gate_ratio', PORTFOLIO_GATE_RATIO)}x)"
         )
+    retrieval = record.get("retrieval")
+    if retrieval:
+        cold, warm = retrieval["cold"], retrieval["warm"]
+        lines.append(
+            f"retrieval  {retrieval['probe_method']} seeded by "
+            f"{retrieval['seed_method']}:"
+        )
+        lines.append(
+            f"  cold     : {cold['seconds']:>8.2f}s ({cold['solved']} solved, "
+            f"first solve {cold['first_solve_seconds']}s)"
+        )
+        lines.append(
+            f"  seeded   : {warm['seconds']:>8.2f}s ({warm['solved']} solved, "
+            f"first solve {warm['first_solve_seconds']}s, "
+            f"{warm['seed_hits']}/{warm['seed_attempts']} tier-0 hits)"
+        )
+        lines.append(
+            f"  speedup  : {retrieval['speedup']:.2f}x "
+            f"(gate: >= {retrieval['gate_speedup']}x)"
+        )
     return "\n".join(lines)
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """The ``repro bench`` flag set (shared with ``scripts/bench.py``)."""
     parser.add_argument(
-        "--scope", choices=("quick", "full"), default="quick",
-        help="measurement size (quick: ~seconds, full: ~a minute)",
+        "--scope", choices=("quick", "full", "warm-similar"), default="quick",
+        help="measurement size (quick: ~seconds, full: ~a minute; "
+        "warm-similar: quick budgets plus the retrieval section — "
+        "similarity-seeded lifting against a populated store vs. cold)",
     )
     parser.add_argument(
         "--tag", default=None,

@@ -15,6 +15,9 @@ emits (``schema: repro-perf-v1``):
 * ``search`` — top-down / bottom-up A* nodes/sec and duplicate pruning;
 * ``portfolio`` (optional; absent from pre-PR-4 records) — the racing
   portfolio vs. its sequential members (the PR-4 gate metrics);
+* ``retrieval`` (optional; written by the ``warm-similar`` scope since
+  PR 8) — similarity-seeded lifting against a populated store vs. the
+  same method cold (the ``retrieval-seeded-speedup`` gate metric);
 * ``tag`` / ``git_sha`` (optional; stamped by ``repro bench`` since PR 5)
   — trajectory provenance.  Records written before PR 5 carry neither;
   :meth:`BenchRecord.from_path` derives the tag from the file name.
@@ -329,6 +332,131 @@ class PortfolioSection:
         }
 
 
+def _optional_number(data: Mapping, key: str, path: str) -> Optional[float]:
+    value = data[key]
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BenchSchemaError(
+            f"{path}.{key}", f"expected a number or null, got {type(value).__name__}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RetrievalMeasurement:
+    """One probe-method run over the retrieval kernel set (cold or seeded)."""
+
+    seconds: float
+    solved: int
+    per_kernel_seconds: Mapping[str, float]
+    #: Wall-clock until the first kernel solved (None when nothing did).
+    first_solve_seconds: Optional[float]
+    seed_hits: int
+    seed_attempts: int
+
+    @classmethod
+    def from_dict(cls, data: object, path: str) -> "RetrievalMeasurement":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping,
+            path,
+            (
+                "seconds",
+                "solved",
+                "per_kernel_seconds",
+                "first_solve_seconds",
+                "seed_hits",
+                "seed_attempts",
+            ),
+        )
+        per_kernel = _require_mapping(
+            mapping["per_kernel_seconds"], f"{path}.per_kernel_seconds"
+        )
+        for kernel, value in per_kernel.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise BenchSchemaError(
+                    f"{path}.per_kernel_seconds.{kernel}", "expected a number"
+                )
+        return cls(
+            seconds=_number(mapping, "seconds", path),
+            solved=_integer(mapping, "solved", path),
+            per_kernel_seconds=dict(per_kernel),
+            first_solve_seconds=_optional_number(mapping, "first_solve_seconds", path),
+            seed_hits=_integer(mapping, "seed_hits", path),
+            seed_attempts=_integer(mapping, "seed_attempts", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seconds": self.seconds,
+            "solved": self.solved,
+            "per_kernel_seconds": dict(self.per_kernel_seconds),
+            "first_solve_seconds": self.first_solve_seconds,
+            "seed_hits": self.seed_hits,
+            "seed_attempts": self.seed_attempts,
+        }
+
+
+@dataclass(frozen=True)
+class RetrievalSection:
+    """The ``retrieval`` section: seeded vs. cold lifting of one method.
+
+    The *warm* run lifts against a store populated by ``seed_method`` (a
+    different method, so every probe is a store digest **miss** — the
+    speedup measures the retrieval layer, not digest replay).
+    """
+
+    kernels: Tuple[str, ...]
+    seed_method: str
+    probe_method: str
+    timeout_seconds: float
+    cold: RetrievalMeasurement
+    warm: RetrievalMeasurement
+    speedup: float
+    gate_speedup: float
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "retrieval") -> "RetrievalSection":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping,
+            path,
+            (
+                "kernels",
+                "seed_method",
+                "probe_method",
+                "timeout_seconds",
+                "cold",
+                "warm",
+                "speedup",
+                "gate_speedup",
+            ),
+        )
+        return cls(
+            kernels=_string_list(mapping, "kernels", path),
+            seed_method=_string(mapping, "seed_method", path),
+            probe_method=_string(mapping, "probe_method", path),
+            timeout_seconds=_number(mapping, "timeout_seconds", path),
+            cold=RetrievalMeasurement.from_dict(mapping["cold"], f"{path}.cold"),
+            warm=RetrievalMeasurement.from_dict(mapping["warm"], f"{path}.warm"),
+            speedup=_number(mapping, "speedup", path),
+            gate_speedup=_number(mapping, "gate_speedup", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kernels": list(self.kernels),
+            "seed_method": self.seed_method,
+            "probe_method": self.probe_method,
+            "timeout_seconds": self.timeout_seconds,
+            "cold": self.cold.to_dict(),
+            "warm": self.warm.to_dict(),
+            "speedup": self.speedup,
+            "gate_speedup": self.gate_speedup,
+        }
+
+
 @dataclass(frozen=True)
 class BenchRecord:
     """One validated ``BENCH_<tag>.json`` performance record."""
@@ -339,6 +467,7 @@ class BenchRecord:
     validator: ValidatorSection
     search: SearchSection
     portfolio: Optional[PortfolioSection] = None
+    retrieval: Optional[RetrievalSection] = None
     notes: Optional[str] = None
     tag: Optional[str] = None
     git_sha: Optional[str] = None
@@ -360,7 +489,7 @@ class BenchRecord:
             mapping,
             "",
             ("schema", "scope", "kernels", "validator", "search"),
-            optional=("portfolio", "notes", "tag", "git_sha"),
+            optional=("portfolio", "retrieval", "notes", "tag", "git_sha"),
         )
         schema = _string(mapping, "schema", "")
         if schema != SCHEMA_VERSION:
@@ -370,6 +499,9 @@ class BenchRecord:
         portfolio = None
         if "portfolio" in mapping:
             portfolio = PortfolioSection.from_dict(mapping["portfolio"])
+        retrieval = None
+        if "retrieval" in mapping:
+            retrieval = RetrievalSection.from_dict(mapping["retrieval"])
         return cls(
             schema=schema,
             scope=_string(mapping, "scope", ""),
@@ -377,6 +509,7 @@ class BenchRecord:
             validator=ValidatorSection.from_dict(mapping["validator"]),
             search=SearchSection.from_dict(mapping["search"]),
             portfolio=portfolio,
+            retrieval=retrieval,
             notes=_string(mapping, "notes", "") if "notes" in mapping else None,
             tag=_string(mapping, "tag", "") if "tag" in mapping else tag,
             git_sha=_string(mapping, "git_sha", "") if "git_sha" in mapping else None,
@@ -420,6 +553,8 @@ class BenchRecord:
         }
         if self.portfolio is not None:
             data["portfolio"] = self.portfolio.to_dict()
+        if self.retrieval is not None:
+            data["retrieval"] = self.retrieval.to_dict()
         if self.notes is not None:
             data["notes"] = self.notes
         if self.tag is not None and self.tag_in_record:

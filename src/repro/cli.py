@@ -191,9 +191,21 @@ def build_parser() -> argparse.ArgumentParser:
         "search heartbeats, validator stats, portfolio races) to FILE as "
         "JSONL; inspect with `repro trace`",
     )
+    lift.add_argument(
+        "--seed-from-store", action="store_true",
+        help="on a store miss, try similar already-solved kernels from the "
+        "--cache-dir retrieval index as tier-0 candidates before any "
+        "search (requires --cache-dir; build the index with "
+        "`repro index build`)",
+    )
 
-    subparsers.add_parser(
+    methods = subparsers.add_parser(
         "methods", help="list the registered lifting methods (for --method)"
+    )
+    methods.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as a JSON array of {name, kind, label} "
+        "objects instead of the human table",
     )
 
     evaluate = subparsers.add_parser("evaluate", help="run the evaluation harness")
@@ -235,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
         "instant and byte-identical to the cold run); cold cells are "
         "persisted for next time.  Never benchmark against a warm cache "
         "without saying so.",
+    )
+    evaluate.add_argument(
+        "--seed-from-store", action="store_true",
+        help="arm similarity seeding for cold cells: neighbors from the "
+        "--cache-dir retrieval index are tried as tier-0 candidates "
+        "before searching (requires --cache-dir)",
     )
 
     serve = subparsers.add_parser(
@@ -293,6 +311,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="append repro-trace-v1 job lifecycle spans and per-lift span "
         "trees to FILE as JSONL (equivalent to setting REPRO_TRACE=FILE); "
         "inspect with `repro trace`",
+    )
+    serve.add_argument(
+        "--seed-from-store", action="store_true",
+        help="arm similarity seeding: store-missed jobs first try similar "
+        "already-solved kernels from the store's retrieval index as "
+        "tier-0 candidates (requires --cache-dir; probe and seed-hit "
+        "counters appear under repro_retrieval_* in GET /metrics)",
+    )
+
+    index = subparsers.add_parser(
+        "index",
+        help="build or inspect the retrieval index over a result store",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="(re)build the similarity index deterministically from the "
+        "store's objects; once present it is maintained incrementally on "
+        "every store write and eviction",
+    )
+    index_build.add_argument(
+        "--cache-dir", required=True,
+        help="result store root (the directory `--cache-dir` points at "
+        "elsewhere); the index lives beside the objects under "
+        "v1/index/",
+    )
+    index_stats = index_sub.add_parser(
+        "stats", help="summarize the index (rows, solved rows, coverage)"
+    )
+    index_stats.add_argument(
+        "--cache-dir", required=True, help="result store root"
     )
 
     trace = subparsers.add_parser(
@@ -571,8 +620,35 @@ def _oracle_for_lift(args: argparse.Namespace, task: LiftingTask):
     return SyntheticOracle(OracleConfig())
 
 
+def _method_label(name: str) -> str:
+    """The report label a method writes (usually its registry name).
+
+    Labels come from the built lifter's config, so resolution failures
+    (e.g. a factory that needs a richer context) degrade to the name
+    rather than failing a listing command.
+    """
+    try:
+        lifter = resolve_method(name)
+    except Exception:  # noqa: BLE001 - listing must not die on one method
+        return name
+    config = getattr(lifter, "config", None)
+    label = getattr(config, "label", None) or getattr(lifter, "label", None)
+    return label or name
+
+
 def _cmd_methods(args: argparse.Namespace) -> int:
     names = method_names()
+    if args.json:
+        entries = [
+            {
+                "name": name,
+                "kind": method_spec(name).kind,
+                "label": _method_label(name),
+            }
+            for name in names
+        ]
+        print(json.dumps(entries, indent=2))
+        return 0
     for name in names:
         spec = method_spec(name)
         print(f"{name:30s} [{spec.kind:9s}] {spec.description}")
@@ -609,6 +685,13 @@ def _cmd_lift(args: argparse.Namespace) -> int:
 
         tracer = TracingObserver(TraceWriter(args.trace), task=task.name)
         observer = CompositeObserver(observer, tracer)
+    if args.seed_from_store:
+        if not args.cache_dir:
+            print("--seed-from-store requires --cache-dir", file=sys.stderr)
+            return 2
+        from .retrieval import seeded_lifter
+
+        synthesizer = seeded_lifter(synthesizer, args.cache_dir)
     cached = False
     report = None
     try:
@@ -626,6 +709,18 @@ def _cmd_lift(args: argparse.Namespace) -> int:
             tracer.close(success=success, method=name, cached=cached)
             print(f"trace appended to {args.trace}", file=sys.stderr)
     print(report.summary() + (" [served from cache]" if cached else ""))
+    retrieval = report.details.get("retrieval")
+    if isinstance(retrieval, dict) and retrieval.get("armed"):
+        if retrieval.get("hit"):
+            print(
+                f"seeded: tier-0 hit from {retrieval.get('seed_task')} "
+                f"(search skipped)"
+            )
+        else:
+            print(
+                f"seeded: {retrieval.get('neighbors', 0)} neighbor(s) "
+                f"tried, no tier-0 hit"
+            )
     if not report.success:
         if report.error:
             print(f"error: {report.error}", file=sys.stderr)
@@ -687,12 +782,16 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         f"running {len(methods)} methods over {len(benchmarks)} benchmarks "
         f"(timeout {args.timeout:.0f}s per query)"
     )
+    if args.seed_from_store and not args.cache_dir:
+        print("--seed-from-store requires --cache-dir", file=sys.stderr)
+        return 2
     runner = EvaluationRunner(
         methods,
         benchmarks,
         progress=lambda method, name, report: print(f"  {report.summary()}"),
         workers=workers,
         cache_dir=args.cache_dir,
+        seed_from_store=args.seed_from_store,
     )
     result = runner.run()
     if args.cache_dir:
@@ -729,6 +828,27 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         save_csv(result, output / "records.csv")
         save_json(result, output / "records.json")
         print(f"records written to {output}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .retrieval import RetrievalIndex
+    from .service import ResultStore
+
+    index = RetrievalIndex(args.cache_dir)
+    if args.index_command == "build":
+        store = ResultStore(args.cache_dir)
+        rows = index.rebuild(store)
+        solved = sum(1 for row in rows.values() if row.get("solved"))
+        print(
+            f"index built: {len(rows)} entries ({solved} solved) "
+            f"at {index.path}"
+        )
+        return 0
+    # stats
+    stats = index.stats()
+    for key in ("path", "armed", "entries", "solved", "with_source"):
+        print(f"{key:12s} {stats[key]}")
     return 0
 
 
@@ -780,6 +900,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if error:
             print(error, file=sys.stderr)
             return 2
+    if args.seed_from_store and not args.cache_dir:
+        print("--seed-from-store requires --cache-dir", file=sys.stderr)
+        return 2
     if args.trace:
         from .obs import trace as obs_trace
 
@@ -798,6 +921,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         store_max_entries=args.store_max_entries,
         store_max_bytes=args.store_max_bytes,
+        seed_from_store=args.seed_from_store,
     )
     server = make_server(args.host, args.port, service)
     host, port = server.server_address[:2]
@@ -1085,6 +1209,7 @@ _COMMANDS = {
     "lift": _cmd_lift,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
+    "index": _cmd_index,
     "trace": _cmd_trace,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,

@@ -19,7 +19,7 @@ plus the penalty-dropping variants of Table 2 (``Drop(A)``, ``Drop(a1)``,
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from .jsonutil import jsonable
 from .penalties import BOTTOMUP_CRITERIA, PenaltyConfig, TOPDOWN_CRITERIA
@@ -68,6 +68,17 @@ class StaggConfig:
     full_grammar_num_indices: int = 3
     #: Human-readable label used in evaluation tables.
     label: str = "STAGG_TD"
+    #: Result-store root whose similarity index seeds this lift (None
+    #: disarms retrieval entirely).  Observational guidance: seeded
+    #: answers pass the same validate-then-verify acceptance as searched
+    #: ones, so all three retrieval knobs are digest-excluded.
+    retrieval_cache_dir: Optional[str] = None
+    #: Nearest solved kernels retrieved per lift (tier-0 candidates).
+    retrieval_k: int = 3
+    #: How many times each neighbor template is counted into the learned
+    #: pCFG weights on a tier-0 miss (1 = same weight as one oracle
+    #: candidate).
+    retrieval_seed_boost: int = 3
 
     def __post_init__(self) -> None:
         if self.search not in SEARCH_STYLES:
@@ -80,6 +91,12 @@ class StaggConfig:
             raise ValueError(
                 f"probability_mode must be one of {PROBABILITY_MODES}, "
                 f"got {self.probability_mode!r}"
+            )
+        if self.retrieval_k < 1:
+            raise ValueError(f"retrieval_k must be >= 1, got {self.retrieval_k}")
+        if self.retrieval_seed_boost < 1:
+            raise ValueError(
+                f"retrieval_seed_boost must be >= 1, got {self.retrieval_seed_boost}"
             )
 
     # ------------------------------------------------------------------ #
@@ -138,6 +155,15 @@ class StaggConfig:
     def with_limits(self, limits: SearchLimits) -> "StaggConfig":
         return replace(self, limits=limits)
 
+    def with_retrieval(
+        self, cache_dir, k: Optional[int] = None
+    ) -> "StaggConfig":
+        """Arm similarity-seeded lifting over *cache_dir*'s index."""
+        overrides: Dict[str, object] = {"retrieval_cache_dir": str(cache_dir)}
+        if k is not None:
+            overrides["retrieval_k"] = k
+        return replace(self, **overrides)
+
     # ------------------------------------------------------------------ #
     # Identity for the lifting service's content-addressed store
     # ------------------------------------------------------------------ #
@@ -151,10 +177,16 @@ class StaggConfig:
         method label, and a store entry must replay records verbatim.
 
         ``limits.progress_interval`` is deliberately *excluded*: heartbeat
-        cadence is observational and must never retire store digests.
+        cadence is observational and must never retire store digests.  The
+        ``retrieval_*`` knobs are excluded for the same reason: retrieval
+        only reorders *which* verified answer is found first — every
+        accepted answer passed the same validate-then-verify criterion —
+        so arming or re-tuning it must never retire store digests either.
         """
         digest = {str(k): jsonable(v) for k, v in asdict(self).items()}
         limits = digest.get("limits")
         if isinstance(limits, dict):
             limits.pop("progress_interval", None)
+        for knob in ("retrieval_cache_dir", "retrieval_k", "retrieval_seed_boost"):
+            digest.pop(knob, None)
         return digest

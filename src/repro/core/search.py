@@ -113,10 +113,20 @@ class SearchLimits:
     #: expansion whose sentential-form state (yield plus expression-nesting
     #: levels) was already enqueued at no worse cost is skipped.
     prune_duplicates: bool = True
-    #: Expansions between ``search_progress`` heartbeats (0 disables them).
+    #: Expansions between ``search_progress`` heartbeats; must be >= 1
+    #: (heartbeats only fire while an observer is attached, so "disable"
+    #: means detaching the observer, not zeroing the cadence).
     #: Observational only — excluded from :meth:`StaggConfig.digest_dict`,
     #: so changing the cadence never retires store digests.
     progress_interval: int = SEARCH_PROGRESS_INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.progress_interval < 1:
+            raise ValueError(
+                f"progress_interval must be >= 1 (got "
+                f"{self.progress_interval}); to silence heartbeats, lift "
+                f"without an observer or raise the interval instead"
+            )
 
 
 @dataclass

@@ -159,7 +159,19 @@ class StaggSynthesizer:
         report = SynthesisReport(
             task_name=state.task.name, method=self._config.label, success=False
         )
-        pipeline = StaggPipeline(self._oracle, self._config)
+        if self._config.retrieval_cache_dir:
+            # Similarity seeding armed: prepend the seed stage, which
+            # tries retrieved neighbors as tier-0 candidates (a hit skips
+            # every later stage) and leaves templates for the pCFG boost
+            # on a miss.  Imported lazily: retrieval builds on lifting.
+            from ..retrieval.seeding import SeedStage
+            from ..lifting.pipeline import STAGES
+
+            pipeline = StaggPipeline(
+                self._oracle, self._config, stages=(SeedStage(), *STAGES)
+            )
+        else:
+            pipeline = StaggPipeline(self._oracle, self._config)
         try:
             outcome = pipeline.run(state, report, budget=budget, observer=observer)
         except BudgetExceeded:

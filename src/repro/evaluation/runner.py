@@ -183,6 +183,7 @@ class EvaluationRunner:
         progress: Optional[Callable[[str, str, SynthesisReport], None]] = None,
         workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        seed_from_store: bool = False,
     ) -> None:
         self._methods = dict(methods)
         self._benchmarks = list(benchmarks)
@@ -190,6 +191,18 @@ class EvaluationRunner:
         # workers=None/0 stays "sequential" (the pre-service contract);
         # explicit requests are validated and clamped to the core count.
         self._workers = validate_workers(workers) if workers else 0
+        if seed_from_store and cache_dir is None:
+            raise ValueError("seed_from_store requires cache_dir")
+        if seed_from_store:
+            # Similarity seeding for cold cells: neighbors from the store's
+            # retrieval index become tier-0 candidates.  The knob is
+            # digest-excluded, so warm replays are unaffected.
+            from ..retrieval.seeding import seeded_lifter
+
+            self._methods = {
+                label: seeded_lifter(lifter, cache_dir)
+                for label, lifter in self._methods.items()
+            }
         if cache_dir is not None:
             # Imported lazily so plain sweeps never pay the service import.
             from ..service.store import CachedLifter

@@ -74,6 +74,10 @@ class LiftObserver:
     def candidate_accepted(self, program: str) -> None:
         """A candidate passed validation and bounded verification."""
 
+    def retrieval_seeded(self, task_name: str, neighbors: int, hit: bool) -> None:
+        """The seed stage finished: how many neighbors were retrieved and
+        whether one passed tier-0 validate-then-verify (skipping search)."""
+
     def validator_stats(self, candidates: int, screen_rejects: int,
                         exact_checks: int, seconds: float) -> None:
         """Tier counters from the validator after a search completes.
@@ -128,6 +132,10 @@ class PrintObserver(LiftObserver):
 
     def candidate_accepted(self, program: str) -> None:
         self._emit(f"  accepted: {program}")
+
+    def retrieval_seeded(self, task_name: str, neighbors: int, hit: bool) -> None:
+        verdict = "tier-0 hit (search skipped)" if hit else "no tier-0 hit"
+        self._emit(f"[{task_name}] seeded from {neighbors} neighbor(s): {verdict}")
 
     def validator_stats(self, candidates: int, screen_rejects: int,
                         exact_checks: int, seconds: float) -> None:
@@ -187,6 +195,9 @@ class RecordingObserver(LiftObserver):
 
     def candidate_accepted(self, program: str) -> None:
         self._record(("candidate_accepted", program))
+
+    def retrieval_seeded(self, task_name: str, neighbors: int, hit: bool) -> None:
+        self._record(("retrieval_seeded", task_name, neighbors, hit))
 
     def validator_stats(self, candidates: int, screen_rejects: int,
                         exact_checks: int, seconds: float) -> None:
@@ -253,6 +264,9 @@ class CompositeObserver(LiftObserver):
 
     def candidate_accepted(self, program: str) -> None:
         self._fan_out("candidate_accepted", program)
+
+    def retrieval_seeded(self, task_name: str, neighbors: int, hit: bool) -> None:
+        self._fan_out("retrieval_seeded", task_name, neighbors, hit)
 
     def validator_stats(self, candidates: int, screen_rejects: int,
                         exact_checks: int, seconds: float) -> None:

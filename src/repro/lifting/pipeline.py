@@ -87,6 +87,14 @@ class PipelineState:
     pcfg: Optional[object] = None
     outcome: Optional[SearchOutcome] = None
 
+    # Similarity-seeding artifacts (only set when the config arms
+    # retrieval; see repro.retrieval.seeding.SeedStage).  ``seed_info``
+    # doubles as the stage's populated-marker; ``seed_templates`` carries
+    # the neighbors' templates into the grammar stage's pCFG learning
+    # after a tier-0 miss.
+    seed_info: Optional[dict] = None
+    seed_templates: Optional[List[Template]] = None
+
     def ensure_analysis(self) -> None:
         """Parse and analyse the kernel once, on first demand."""
         if self.function is None:
@@ -104,6 +112,8 @@ class PipelineState:
         self.grammar_style = None
         self.pcfg = None
         self.outcome = None
+        self.seed_info = None
+        self.seed_templates = None
 
     def fork(self) -> "PipelineState":
         """A new state sharing this one's oracle-derived artifacts.
@@ -226,9 +236,22 @@ class GrammarStage(Stage):
         grammar, style = self._build_grammar(config, state)
         state.grammar = grammar
         state.grammar_style = style
+        # Similarity seeding, part (b): after a tier-0 miss the seed stage
+        # leaves the neighbors' winning templates on the state, and each is
+        # counted ``retrieval_seed_boost`` times alongside the oracle's
+        # candidates — derivation counting is frequency-based, so
+        # repetition *is* the weight boost.  The grammar itself (and the
+        # penalty operators, which read ``state.templates``) stay purely
+        # oracle-derived.
+        templates = state.templates
+        if state.seed_templates:
+            boost = config.retrieval_seed_boost
+            templates = list(templates) + [
+                template for template in state.seed_templates for _ in range(boost)
+            ]
         state.pcfg = learn_pcfg(
             grammar,
-            state.templates,
+            templates,
             style=style,
             probability_mode=config.probability_mode,
         )
@@ -383,6 +406,14 @@ class StaggPipeline:
             if stage.populated(state):
                 timings.setdefault(stage.name, 0.0)
                 stage.annotate(state, report)
+                safe_notify(observer, "stage_skipped", stage.name, state.task.name)
+                continue
+            if state.outcome is not None:
+                # A tier-0 seed hit already produced the outcome; the
+                # remaining stages' artifacts are unnecessary and absent,
+                # so they are skipped without annotating (annotations read
+                # artifacts this run never built).
+                timings.setdefault(stage.name, 0.0)
                 safe_notify(observer, "stage_skipped", stage.name, state.task.name)
                 continue
             if budget is not None:

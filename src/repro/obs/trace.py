@@ -218,6 +218,13 @@ class TracingObserver(LiftObserver):
     def candidate_accepted(self, program: str) -> None:
         self._event("candidate_accepted", program=program)
 
+    def retrieval_seeded(self, task_name: str, neighbors: int, hit: bool) -> None:
+        # Lands inside the open stage:seed span, so seed hits are
+        # attributable in the tree just like accepted candidates.
+        self._event(
+            "retrieval_seeded", task=task_name, neighbors=neighbors, hit=hit,
+        )
+
     def validator_stats(self, candidates: int, screen_rejects: int,
                         exact_checks: int, seconds: float) -> None:
         rate = candidates / seconds if seconds > 0 else 0.0

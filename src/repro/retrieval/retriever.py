@@ -1,0 +1,194 @@
+"""Nearest-solved-kernel retrieval with reciprocal-rank fusion.
+
+On a digest miss, the retriever ranks every *solved* index row against
+the query task twice — lexically (Jaccard similarity over hashed C-source
+token shingles) and structurally (loop-nest shape plus classified
+signature shape) — and fuses the two rankings with reciprocal-rank
+fusion::
+
+    score(d) = Σ_r 1 / (RRF_K + rank_r(d))
+
+RRF needs no score normalisation across heterogeneous rankings, which is
+exactly the situation here (a set-overlap ratio vs. an ordinal structure
+match).  Neighbors are deduplicated by skeleton (k distinct candidate
+programs beat k copies of one) and — the staleness guard — checked for
+store membership, so an index that lags an eviction can never seed from
+a digest whose entry is gone.
+
+:meth:`Retriever.open` is the arming point: it returns ``None`` unless
+the cache root holds a readable, non-empty index, so a cold or disarmed
+miss path costs the caller one ``is None`` check (the faults/trace
+arming idiom).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .index import RetrievalIndex
+from .features import task_features
+
+#: The reciprocal-rank-fusion constant (the conventional k=60: dampens
+#: the gap between rank 1 and rank 2 so one ranking cannot dominate).
+RRF_K = 60
+
+#: Default number of neighbors a retrieval returns.
+DEFAULT_NEIGHBORS = 3
+
+#: One cached (mtime, rows) snapshot per index path, so a service that
+#: probes the index on every store-miss submission re-parses the JSON
+#: only when a write actually changed it.
+_ROWS_CACHE: Dict[str, Tuple[float, Dict[str, Dict[str, object]]]] = {}
+_ROWS_CACHE_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One retrieved solved kernel, ready to seed a lift."""
+
+    digest: str
+    task_name: str
+    method: str
+    score: float
+    #: Canonical source of the stored winning *template* (symbolic
+    #: tensors) — what the validate-then-verify checker instantiates
+    #: against the query task.
+    skeleton: str
+
+
+def _cached_rows(index: RetrievalIndex) -> Optional[Dict[str, Dict[str, object]]]:
+    try:
+        mtime = index.path.stat().st_mtime
+    except OSError:
+        return None
+    key = str(index.path)
+    with _ROWS_CACHE_LOCK:
+        cached = _ROWS_CACHE.get(key)
+        if cached is not None and cached[0] == mtime:
+            return cached[1]
+    rows = index.read()
+    if rows is not None:
+        with _ROWS_CACHE_LOCK:
+            _ROWS_CACHE[key] = (mtime, rows)
+    return rows
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a or not b:
+        return 0.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def _structural_score(query: Dict[str, object], row: Dict[str, object]) -> float:
+    """Graded structural agreement between the query kernel and a row."""
+    score = 0.0
+    q_loops, r_loops = str(query.get("loop_shape") or ""), str(row.get("loop_shape") or "")
+    if q_loops and q_loops == r_loops:
+        score += 2.0
+    elif q_loops and r_loops and q_loops.split("-")[-1] == r_loops.split("-")[-1]:
+        score += 1.0  # same maximum nesting depth
+    q_sig, r_sig = str(query.get("signature_shape") or ""), str(row.get("signature_shape") or "")
+    if q_sig and q_sig == r_sig:
+        score += 2.0
+    elif q_sig and r_sig and q_sig.split("t")[0] == r_sig.split("t")[0]:
+        score += 1.0  # same tensor-argument count
+    return score
+
+
+def _rank(scored: List[Tuple[float, str]]) -> Dict[str, int]:
+    """1-based ranks from (score, digest) pairs; digest breaks ties."""
+    ordered = sorted(scored, key=lambda item: (-item[0], item[1]))
+    return {digest: position + 1 for position, (_, digest) in enumerate(ordered)}
+
+
+class Retriever:
+    """Rank an index's solved rows against query tasks."""
+
+    def __init__(self, store, rows: Dict[str, Dict[str, object]]) -> None:
+        self._store = store
+        self._rows = rows
+
+    @classmethod
+    def open(cls, cache_dir: Union[str, Path, None]) -> Optional["Retriever"]:
+        """A retriever over *cache_dir*'s index, or None when disarmed.
+
+        ``None`` covers every cold case — no cache dir, no index file, a
+        corrupt or version-mismatched index, or an index with no solved
+        rows — so callers hold exactly one guarded check.
+        """
+        if not cache_dir:
+            return None
+        index = RetrievalIndex(cache_dir)
+        rows = _cached_rows(index)
+        if not rows or not any(row.get("solved") for row in rows.values()):
+            return None
+        from ..service.store import ResultStore
+
+        return cls(ResultStore(cache_dir), rows)
+
+    def neighbors(self, task, k: int = DEFAULT_NEIGHBORS) -> List[Neighbor]:
+        """The *k* nearest solved kernels to *task* (may be fewer)."""
+        query = task_features(task)
+        query_shingles = frozenset(query.get("shingles") or ())
+        candidates = {
+            digest: row
+            for digest, row in self._rows.items()
+            if row.get("solved") and row.get("skeleton")
+        }
+        if not candidates:
+            return []
+        lexical = _rank(
+            [
+                (_jaccard(query_shingles, frozenset(row.get("shingles") or ())), digest)
+                for digest, row in candidates.items()
+            ]
+        )
+        structural = _rank(
+            [
+                (_structural_score(query, row), digest)
+                for digest, row in candidates.items()
+            ]
+        )
+        fused = sorted(
+            candidates,
+            key=lambda digest: (
+                -(1.0 / (RRF_K + lexical[digest]) + 1.0 / (RRF_K + structural[digest])),
+                digest,
+            ),
+        )
+        neighbors: List[Neighbor] = []
+        seen_skeletons = set()
+        for digest in fused:
+            if len(neighbors) >= k:
+                break
+            row = candidates[digest]
+            skeleton = str(row["skeleton"])
+            if skeleton in seen_skeletons:
+                continue
+            # Staleness guard: an index row may outlive its entry for one
+            # eviction race; membership is re-checked against the objects
+            # so an evicted digest is never handed out as a seed.
+            if digest not in self._store:
+                continue
+            seen_skeletons.add(skeleton)
+            neighbors.append(
+                Neighbor(
+                    digest=digest,
+                    task_name=str(row.get("task", "")),
+                    method=str(row.get("method", "")),
+                    score=(
+                        1.0 / (RRF_K + lexical[digest])
+                        + 1.0 / (RRF_K + structural[digest])
+                    ),
+                    skeleton=skeleton,
+                )
+            )
+        return neighbors
+
+    def probe(self, task, k: int = DEFAULT_NEIGHBORS) -> int:
+        """How many seed neighbors a lift of *task* would receive."""
+        return len(self.neighbors(task, k=k))

@@ -19,6 +19,7 @@ Requests come in two shapes:
 
 from __future__ import annotations
 
+import functools
 import json
 import time
 from dataclasses import asdict, dataclass, replace
@@ -219,6 +220,7 @@ def execute_request(
     request: LiftRequest,
     budget: Optional[Budget] = None,
     observer: Optional[LiftObserver] = None,
+    retrieval_dir: Optional[str] = None,
 ) -> SynthesisReport:
     """Run one request to completion (module-level: process-pool friendly).
 
@@ -226,6 +228,12 @@ def execute_request(
     stage observer), so a per-job deadline stops the synthesis cooperatively;
     in process mode the request's timeout is already baked into the method's
     search limits by :func:`build_lifter`.
+
+    ``retrieval_dir`` (bound via :func:`functools.partial` by a service
+    running with ``seed_from_store``) arms similarity seeding: the lifter
+    first tries neighbors from the store's retrieval index as tier-0
+    candidates.  The knob is digest-excluded, so seeded and unseeded runs
+    answer the same content address.
 
     Two named fault points fire here (no-ops unless a fault plan is armed;
     see :mod:`repro.service.faults`): ``execute`` at the top — pacing and
@@ -236,7 +244,28 @@ def execute_request(
     faults.fail_point("execute")
     task = resolve_task(request)  # re-raises ServiceError for bad requests
     faults.fail_point("oracle")
-    return build_lifter(request).lift(task, budget=budget, observer=observer)
+    lifter = build_lifter(request)
+    if retrieval_dir is not None:
+        from ..retrieval.seeding import seeded_lifter
+
+        lifter = seeded_lifter(lifter, retrieval_dir)
+    return lifter.lift(task, budget=budget, observer=observer)
+
+
+def probe_request(cache_dir: Union[str, Path], request: LiftRequest) -> int:
+    """How many similar solved kernels the index can seed *request* with.
+
+    The scheduler calls this (partially applied) on every store miss;
+    with no readable index behind ``cache_dir`` it is one file-existence
+    check.  Resolution errors count as zero — the probe is observational
+    and must never fail a submission.
+    """
+    from ..retrieval.retriever import Retriever
+
+    retriever = Retriever.open(cache_dir)
+    if retriever is None:
+        return 0
+    return retriever.probe(resolve_task(request))
 
 
 def request_digest(request: LiftRequest) -> str:
@@ -295,7 +324,10 @@ class LiftingService:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         store_max_entries: Optional[int] = None,
         store_max_bytes: Optional[int] = None,
+        seed_from_store: bool = False,
     ) -> None:
+        if seed_from_store and cache_dir is None:
+            raise ValueError("seed_from_store requires cache_dir")
         self._store = (
             ResultStore(
                 cache_dir, max_entries=store_max_entries, max_bytes=store_max_bytes
@@ -346,10 +378,21 @@ class LiftingService:
                     f"repro_store_{key}", help_text,
                     fn=lambda key=key: store.stats().get(key, 0),
                 )
+        # Similarity seeding: partial application keeps the executor
+        # module-level (process-pool picklable) and signature-inspectable
+        # (cooperative budgets still engage in thread mode); the probe
+        # feeds the scheduler's repro_retrieval_* counters on store misses.
+        executor = execute_request
+        retrieval_probe = None
+        if seed_from_store:
+            executor = functools.partial(
+                execute_request, retrieval_dir=str(cache_dir)
+            )
+            retrieval_probe = functools.partial(probe_request, cache_dir)
         # Provenance records the request payload only; the lifter identity
         # is already pinned by the digest the entry is stored under.
         self._scheduler = JobScheduler(
-            execute_request,
+            executor,
             store=self._store,
             workers=workers,
             use_processes=use_processes,
@@ -358,6 +401,7 @@ class LiftingService:
             max_attempts=max_attempts,
             payload_codec=(_encode_request, _decode_request),
             metrics=self.metrics,
+            retrieval_probe=retrieval_probe,
         )
 
     @property

@@ -285,6 +285,7 @@ class JobScheduler:
             Tuple[Callable[[object], str], Callable[[str], object]]
         ] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retrieval_probe: Optional[Callable[[object], int]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"scheduler needs at least one worker, got {workers}")
@@ -292,6 +293,11 @@ class JobScheduler:
         self._cooperative = not use_processes and _accepts_budget(executor)
         self._store = store
         self._provenance = provenance
+        #: On a store miss, ``retrieval_probe(payload)`` reports how many
+        #: similar solved kernels the retrieval index can seed the cold job
+        #: with (0 when the index is disarmed).  Purely observational — the
+        #: seeding itself happens inside the executor's pipeline.
+        self._retrieval_probe = retrieval_probe
         self._journal = journal
         self._owner = owner_token()
         self._max_attempts = max(1, int(max_attempts))
@@ -340,6 +346,22 @@ class JobScheduler:
         self._store_write_retries = self.metrics.counter(
             "repro_store_write_retries_total",
             "Transient result-store write failures retried in place",
+        )
+        self._retrieval_probes = self.metrics.counter(
+            "repro_retrieval_probes_total",
+            "Store-miss submissions probed against the retrieval index",
+        )
+        self._retrieval_seedable = self.metrics.counter(
+            "repro_retrieval_seedable_total",
+            "Probed submissions with at least one similar solved neighbor",
+        )
+        self._retrieval_seed_attempts = self.metrics.counter(
+            "repro_retrieval_seed_attempts_total",
+            "Finished jobs whose lift ran with similarity seeding armed",
+        )
+        self._retrieval_seed_hits = self.metrics.counter(
+            "repro_retrieval_seed_hits_total",
+            "Finished jobs answered by a tier-0 seeded candidate (search skipped)",
         )
         self._finished_counts = {
             state: self.metrics.counter(
@@ -475,6 +497,9 @@ class JobScheduler:
                     )
                 self._finish(job, JobState.SUCCEEDED)
                 return job
+        # Cold work from here on: before queueing, ask the retrieval layer
+        # whether similar solved kernels exist to seed this lift with.
+        self._probe_retrieval(payload, digest)
         job = self._make_job(digest, payload, priority, timeout)
         if self._journal is not None:
             try:
@@ -507,6 +532,39 @@ class JobScheduler:
             self._work_ready.notify()
         self._trace_job_event(job, "job.queued", ts=job.created_at)
         return job
+
+    def _probe_retrieval(self, payload: object, digest: str) -> None:
+        """Count how seedable a store-missed submission is (best-effort).
+
+        Disarmed (no probe callback, or an empty index behind it) this is
+        one ``is None`` check per cold submission; a broken probe must
+        never fail the submission it was only describing.
+        """
+        if self._retrieval_probe is None:
+            return
+        try:
+            neighbors = int(self._retrieval_probe(payload))
+        except Exception:  # noqa: BLE001 - observational only
+            return
+        with self._lock:
+            self._retrieval_probes.inc()
+            if neighbors > 0:
+                self._retrieval_seedable.inc()
+        if neighbors > 0:
+            faults.log_event(
+                "job.seedable", digest=digest, neighbors=neighbors
+            )
+
+    def _count_seed_outcome(self, report: SynthesisReport) -> None:
+        """Fold the report's seed-stage verdict into the lifetime counters."""
+        details = getattr(report, "details", None)
+        retrieval = details.get("retrieval") if isinstance(details, dict) else None
+        if not isinstance(retrieval, dict) or not retrieval.get("armed"):
+            return
+        with self._lock:
+            self._retrieval_seed_attempts.inc()
+            if retrieval.get("hit"):
+                self._retrieval_seed_hits.inc()
 
     def _encode_json_payload(self, payload: object) -> str:
         try:
@@ -682,6 +740,12 @@ class JobScheduler:
                 "retried": int(self._retried.value),
                 "recovered": int(self._recovered.value),
                 "store_write_retries": int(self._store_write_retries.value),
+                "retrieval_probes": int(self._retrieval_probes.value),
+                "retrieval_seedable": int(self._retrieval_seedable.value),
+                "retrieval_seed_attempts": int(
+                    self._retrieval_seed_attempts.value
+                ),
+                "retrieval_seed_hits": int(self._retrieval_seed_hits.value),
             }
 
     def shutdown(
@@ -990,6 +1054,7 @@ class JobScheduler:
             self._finish(job, JobState.FAILED)
             return
         job.report = report
+        self._count_seed_outcome(report)
         if lift_tracer is not None:
             lift_tracer.close(success=report.success, timed_out=report.timed_out)
         # Commit point: decided under the lock so it serializes with

@@ -35,7 +35,13 @@ from typing import Dict, Iterator, List, Mapping, Optional, Union
 from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
 from . import faults
-from .digest import STORE_SCHEMA_VERSION, describe_lifter, jsonable, lift_digest
+from .digest import (
+    STORE_SCHEMA_VERSION,
+    describe_lifter,
+    describe_task,
+    jsonable,
+    lift_digest,
+)
 
 #: How many writes between automatic LRU eviction sweeps when the store
 #: was constructed with limits.  Sweeps scan the object directory, so
@@ -168,20 +174,25 @@ class ResultStore:
 
     def get(self, digest: str) -> Optional[StoreEntry]:
         """The stored entry for *digest*, or None (counted as hit/miss)."""
-        path = self._path_for(digest)
-        entry: Optional[StoreEntry] = None
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            if data.get("schema") == STORE_SCHEMA_VERSION:
-                entry = StoreEntry.from_json_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
-            entry = None
+        entry = self.peek(digest)
         with self._lock:
             if entry is None:
                 self._misses += 1
             else:
                 self._hits += 1
         return entry
+
+    def peek(self, digest: str) -> Optional[StoreEntry]:
+        """Like :meth:`get` but uncounted — for the retrieval indexer and
+        audits, whose scans must not skew the hit/miss economics."""
+        path = self._path_for(digest)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("schema") == STORE_SCHEMA_VERSION:
+                return StoreEntry.from_json_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        return None
 
     def put(
         self,
@@ -219,6 +230,7 @@ class ResultStore:
         with self._lock:
             self._writes += 1
             writes = self._writes
+        self._index_add(digest, entry)
         if (
             (self._max_entries is not None or self._max_bytes is not None)
             and writes % AUTO_EVICT_EVERY == 0
@@ -292,9 +304,41 @@ class ResultStore:
             evicted.append(path.stem)
         if evicted:
             self.compact()
+            self._index_discard(evicted)
             with self._lock:
                 self._evictions += len(evicted)
         return evicted
+
+    # ------------------------------------------------------------------ #
+    # Similarity-index maintenance (armed only when an index exists)
+    # ------------------------------------------------------------------ #
+    def _index(self):
+        """The retrieval index beside this store, or None when disarmed.
+
+        Index maintenance arms itself on the presence of the index file
+        (created by ``repro index build``); a store without one pays a
+        single ``is_file`` check per write and nothing per read.
+        """
+        from ..retrieval.index import RetrievalIndex
+
+        index = RetrievalIndex(self._root)
+        return index if index.exists() else None
+
+    def _index_add(self, digest: str, entry: StoreEntry) -> None:
+        try:
+            index = self._index()
+            if index is not None:
+                index.add(self, digest, entry)
+        except Exception:  # noqa: BLE001 - the index must never fail a write
+            pass
+
+    def _index_discard(self, digests: List[str]) -> None:
+        try:
+            index = self._index()
+            if index is not None:
+                index.discard(digests)
+        except Exception:  # noqa: BLE001 - the index must never fail eviction
+            pass
 
     def compact(self) -> int:
         """Remove empty shard directories; returns how many were dropped."""
@@ -403,7 +447,17 @@ class CachedLifter:
             budget is not None and budget.expired() and not report.success
         )
         if (report.success or not self._successes_only) and not truncated:
-            self.store.put(digest, report, provenance={"lifter": self.descriptor()})
+            # The task description rides along so the retrieval indexer
+            # (and audits) can recover the C source of any stored lift
+            # without a corpus lookup.
+            self.store.put(
+                digest,
+                report,
+                provenance={
+                    "lifter": self.descriptor(),
+                    "task": describe_task(task),
+                },
+            )
         return report
 
 

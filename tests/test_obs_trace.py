@@ -258,9 +258,17 @@ class TestProgressHeartbeat:
         assert all(e[3] >= 0.0 for e in beats)  # nodes_per_sec
         assert all(e[4] >= 0 for e in beats)    # duplicates_pruned
 
-    def test_zero_interval_disables_heartbeats(self):
-        observer = self._lift_with_interval(0)
-        assert not [e for e in observer.events if e[0] == "search_progress"]
+    def test_zero_interval_is_rejected_at_construction(self):
+        # Heartbeats are disabled by lifting without an observer, not by a
+        # zero interval — SearchLimits validates at construction now.
+        with pytest.raises(ValueError, match="progress_interval"):
+            SearchLimits(progress_interval=0)
+        with pytest.raises(ValueError, match="progress_interval"):
+            SearchLimits(progress_interval=-3)
+
+    def test_no_observer_disables_heartbeats(self):
+        report = resolve_method("STAGG_TD", timeout_seconds=20.0).lift(_task())
+        assert report.success  # no observer: nothing to deliver beats to
 
     def test_progress_interval_never_changes_digests(self):
         default = StaggConfig()

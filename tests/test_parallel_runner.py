@@ -8,9 +8,12 @@ from repro.suite import all_benchmarks
 
 
 def _methods():
+    # darknet.axpy_cpu solves under STAGG_TD at ~9s: a 10s budget sat on
+    # the boundary and load flipped the outcome between the sequential
+    # and parallel runs.  20s keeps every slice kernel deterministic.
     return standard_methods(
         oracle=SyntheticOracle(OracleConfig()),
-        timeout_seconds=10.0,
+        timeout_seconds=20.0,
         include=["STAGG_TD", "C2TACO"],
     )
 

@@ -11,7 +11,10 @@ from repro.llm import OracleConfig, SyntheticOracle
 from repro.suite import all_benchmarks
 
 
-def _lift(benchmark, style, prune, timeout=10.0):
+def _lift(benchmark, style, prune, timeout=30.0):
+    # darknet.axpy_cpu solves at ~11s both pruned and unpruned: a 10s
+    # budget sat on that boundary, so load could flip one run's outcome
+    # and break the success-parity assertion.  30s clears it for both.
     limits = SearchLimits(
         max_expansions=120_000,
         max_candidates=2_400,
