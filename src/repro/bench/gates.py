@@ -232,6 +232,20 @@ register_gate(
         description="PR-8 bar: seeding must never cost a solve the cold run had",
     )
 )
+register_gate(
+    Gate(
+        gate_id="portfolio-multicore",
+        metric="multicore.wallclock_ratio",
+        op="<=",
+        threshold_ref="multicore.gate_ratio",
+        requires="multicore",
+        description=(
+            "PR-10 bar: process-backed portfolio race vs. fastest sequential "
+            "member (bar is 1.0 on >= 4 cores; relaxed below, see "
+            "multicore.cores)"
+        ),
+    )
+)
 
 
 def evaluate_gates(

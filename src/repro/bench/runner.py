@@ -165,6 +165,23 @@ def summarize(record: Dict[str, object]) -> str:
             f"{portfolio['wallclock_ratio']:.2f}x wall-clock "
             f"(gate: <= {portfolio.get('gate_ratio', PORTFOLIO_GATE_RATIO)}x)"
         )
+    multicore = record.get("multicore")
+    if multicore:
+        lines.append(
+            f"multicore  {multicore['spec']} "
+            f"[{multicore['backend']}:{multicore['workers']}, "
+            f"{multicore['cores']} core(s)]:"
+        )
+        lines.append(
+            f"  racing   processes         : "
+            f"{multicore['portfolio']['seconds']:>8.2f}s "
+            f"({multicore['portfolio']['solved']} solved)"
+        )
+        lines.append(
+            f"  vs best  ({multicore['fastest_member']}): "
+            f"{multicore['wallclock_ratio']:.2f}x wall-clock "
+            f"(gate: <= {multicore['gate_ratio']}x at {multicore['cores']} core(s))"
+        )
     retrieval = record.get("retrieval")
     if retrieval:
         cold, warm = retrieval["cold"], retrieval["warm"]

@@ -18,6 +18,10 @@ emits (``schema: repro-perf-v1``):
 * ``retrieval`` (optional; written by the ``warm-similar`` scope since
   PR 8) — similarity-seeded lifting against a populated store vs. the
   same method cold (the ``retrieval-seeded-speedup`` gate metric);
+* ``multicore`` (optional; written since PR 10) — the same portfolio
+  raced over a process pool vs. its fastest sequential member (the
+  ``portfolio-multicore`` gate metric), with the measuring machine's
+  core count recorded alongside;
 * ``tag`` / ``git_sha`` (optional; stamped by ``repro bench`` since PR 5)
   — trajectory provenance.  Records written before PR 5 carry neither;
   :meth:`BenchRecord.from_path` derives the tag from the file name.
@@ -332,6 +336,88 @@ class PortfolioSection:
         }
 
 
+@dataclass(frozen=True)
+class MulticoreSection:
+    """The ``multicore`` section: the process-backed portfolio race.
+
+    Mirrors the ``portfolio`` section's measurement style but runs the
+    same portfolio spec with ``ExecutionConfig(backend="processes")``, so
+    members race on separate cores instead of sharing the GIL.  The member
+    baselines live in the sibling ``portfolio`` section (the kernel set
+    and timeout match); this section records the process-backed racer and
+    its ratio against the fastest sequential member.
+
+    ``gate_ratio`` is the bar the ``portfolio-multicore`` gate reads via
+    ``threshold_ref``: on machines with >= 4 cores the acceptance bar is
+    1.0 (the race must beat the fastest member outright); on smaller
+    machines — where members time-share cores and process spawning is pure
+    overhead — the recorded bar is relaxed, and ``cores`` documents why.
+    """
+
+    spec: str
+    kernels: Tuple[str, ...]
+    timeout_seconds: float
+    cores: int
+    workers: int
+    backend: str
+    portfolio: MethodMeasurement
+    fastest_member: str
+    fastest_member_seconds: float
+    wallclock_ratio: float
+    gate_ratio: float
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "multicore") -> "MulticoreSection":
+        mapping = _require_mapping(data, path)
+        _check_keys(
+            mapping,
+            path,
+            (
+                "spec",
+                "kernels",
+                "timeout_seconds",
+                "cores",
+                "workers",
+                "backend",
+                "portfolio",
+                "fastest_member",
+                "fastest_member_seconds",
+                "wallclock_ratio",
+                "gate_ratio",
+            ),
+        )
+        return cls(
+            spec=_string(mapping, "spec", path),
+            kernels=_string_list(mapping, "kernels", path),
+            timeout_seconds=_number(mapping, "timeout_seconds", path),
+            cores=_integer(mapping, "cores", path),
+            workers=_integer(mapping, "workers", path),
+            backend=_string(mapping, "backend", path),
+            portfolio=MethodMeasurement.from_dict(
+                mapping["portfolio"], f"{path}.portfolio"
+            ),
+            fastest_member=_string(mapping, "fastest_member", path),
+            fastest_member_seconds=_number(mapping, "fastest_member_seconds", path),
+            wallclock_ratio=_number(mapping, "wallclock_ratio", path),
+            gate_ratio=_number(mapping, "gate_ratio", path),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec,
+            "kernels": list(self.kernels),
+            "timeout_seconds": self.timeout_seconds,
+            "cores": self.cores,
+            "workers": self.workers,
+            "backend": self.backend,
+            "portfolio": self.portfolio.to_dict(),
+            "fastest_member": self.fastest_member,
+            "fastest_member_seconds": self.fastest_member_seconds,
+            "wallclock_ratio": self.wallclock_ratio,
+            "gate_ratio": self.gate_ratio,
+        }
+
+
 def _optional_number(data: Mapping, key: str, path: str) -> Optional[float]:
     value = data[key]
     if value is None:
@@ -468,6 +554,7 @@ class BenchRecord:
     search: SearchSection
     portfolio: Optional[PortfolioSection] = None
     retrieval: Optional[RetrievalSection] = None
+    multicore: Optional[MulticoreSection] = None
     notes: Optional[str] = None
     tag: Optional[str] = None
     git_sha: Optional[str] = None
@@ -489,7 +576,7 @@ class BenchRecord:
             mapping,
             "",
             ("schema", "scope", "kernels", "validator", "search"),
-            optional=("portfolio", "retrieval", "notes", "tag", "git_sha"),
+            optional=("portfolio", "retrieval", "multicore", "notes", "tag", "git_sha"),
         )
         schema = _string(mapping, "schema", "")
         if schema != SCHEMA_VERSION:
@@ -502,6 +589,9 @@ class BenchRecord:
         retrieval = None
         if "retrieval" in mapping:
             retrieval = RetrievalSection.from_dict(mapping["retrieval"])
+        multicore = None
+        if "multicore" in mapping:
+            multicore = MulticoreSection.from_dict(mapping["multicore"])
         return cls(
             schema=schema,
             scope=_string(mapping, "scope", ""),
@@ -510,6 +600,7 @@ class BenchRecord:
             search=SearchSection.from_dict(mapping["search"]),
             portfolio=portfolio,
             retrieval=retrieval,
+            multicore=multicore,
             notes=_string(mapping, "notes", "") if "notes" in mapping else None,
             tag=_string(mapping, "tag", "") if "tag" in mapping else tag,
             git_sha=_string(mapping, "git_sha", "") if "git_sha" in mapping else None,
@@ -555,6 +646,8 @@ class BenchRecord:
             data["portfolio"] = self.portfolio.to_dict()
         if self.retrieval is not None:
             data["retrieval"] = self.retrieval.to_dict()
+        if self.multicore is not None:
+            data["multicore"] = self.multicore.to_dict()
         if self.notes is not None:
             data["notes"] = self.notes
         if self.tag is not None and self.tag_in_record:

@@ -62,10 +62,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from .bench.runner import add_bench_arguments
 from .core.task import InputSpec, LiftingTask
 from .lifting import (
+    ExecutionConfig,
     PrintObserver,
     method_name_for,
     method_names,
     method_spec,
+    parse_executor_spec,
     resolve_method,
 )
 from .cfront import parse_function
@@ -198,14 +200,21 @@ def build_parser() -> argparse.ArgumentParser:
         "search (requires --cache-dir; build the index with "
         "`repro index build`)",
     )
+    lift.add_argument(
+        "--executor", default=None, metavar="BACKEND[:N]",
+        help="execution backend for methods that run parallel work: "
+        "'threads' (default) or 'processes', optionally with a worker "
+        "count ('processes:4').  Process-backed portfolios race one core "
+        "per member; the backend never changes outcomes or store digests",
+    )
 
     methods = subparsers.add_parser(
         "methods", help="list the registered lifting methods (for --method)"
     )
     methods.add_argument(
         "--json", action="store_true",
-        help="emit the registry as a JSON array of {name, kind, label} "
-        "objects instead of the human table",
+        help="emit the registry as a JSON array of {name, kind, label, "
+        "supports_processes} objects instead of the human table",
     )
 
     evaluate = subparsers.add_parser("evaluate", help="run the evaluation harness")
@@ -236,9 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=2025, help="oracle seed")
     evaluate.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for the sweep (1 = sequential; values above "
-        "the core count are clamped — per-query budgets are wall-clock, so "
-        "oversubscription can time out borderline queries)",
+        help="deprecated alias for --executor processes:N (1 = sequential; "
+        "values above the core count are clamped — per-query budgets are "
+        "wall-clock, so oversubscription can time out borderline queries)",
+    )
+    evaluate.add_argument(
+        "--executor", default=None, metavar="BACKEND[:N]",
+        help="execution backend for the sweep and for method-internal "
+        "parallelism: 'threads' or 'processes', optionally with a worker "
+        "count ('processes:4'); replaces --workers",
     )
     evaluate.add_argument(
         "--cache-dir", default=None,
@@ -269,11 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
         "service that re-runs every unique request)",
     )
     serve.add_argument(
-        "--workers", type=int, default=2, help="scheduler worker count"
+        "--workers", type=int, default=2,
+        help="scheduler worker count (deprecated alias for --executor "
+        "threads:N)",
     )
     serve.add_argument(
         "--processes", action="store_true",
-        help="run jobs in a process pool instead of worker threads",
+        help="run jobs in a process pool instead of worker threads "
+        "(deprecated alias for --executor processes)",
+    )
+    serve.add_argument(
+        "--executor", default=None, metavar="BACKEND[:N]",
+        help="scheduler pool backend: 'threads' or 'processes', optionally "
+        "with a worker count ('processes:4'); replaces --workers/--processes",
     )
     serve.add_argument(
         "--timeout", type=float, default=60.0,
@@ -620,6 +643,22 @@ def _oracle_for_lift(args: argparse.Namespace, task: LiftingTask):
     return SyntheticOracle(OracleConfig())
 
 
+def _parse_executor(args: argparse.Namespace) -> Tuple[Optional[ExecutionConfig], Optional[str]]:
+    """Parse ``--executor BACKEND[:N]`` into an :class:`ExecutionConfig`.
+
+    Returns ``(config, None)`` on success (``config`` is ``None`` when the
+    flag was not given) or ``(None, message)`` when the spec is malformed —
+    callers print the message and exit 2, the argparse convention.
+    """
+    spec = getattr(args, "executor", None)
+    if not spec:
+        return None, None
+    try:
+        return parse_executor_spec(spec), None
+    except ValueError as error:
+        return None, str(error)
+
+
 def _method_label(name: str) -> str:
     """The report label a method writes (usually its registry name).
 
@@ -644,6 +683,7 @@ def _cmd_methods(args: argparse.Namespace) -> int:
                 "name": name,
                 "kind": method_spec(name).kind,
                 "label": _method_label(name),
+                "supports_processes": method_spec(name).supports_processes,
             }
             for name in names
         ]
@@ -670,9 +710,17 @@ def _cmd_lift(args: argparse.Namespace) -> int:
     name = args.method or method_name_for(
         args.search, args.grammar, args.probabilities
     )
+    execution, executor_error = _parse_executor(args)
+    if executor_error:
+        print(executor_error, file=sys.stderr)
+        return 2
     try:
         synthesizer = resolve_method(
-            name, oracle=oracle, timeout_seconds=args.timeout, seed=args.seed
+            name,
+            oracle=oracle,
+            timeout_seconds=args.timeout,
+            seed=args.seed,
+            execution=execution,
         )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
@@ -754,26 +802,41 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if not benchmarks:
         print("no benchmarks selected", file=sys.stderr)
         return 1
-    try:
-        workers = validate_workers(args.workers)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
+    execution, executor_error = _parse_executor(args)
+    if executor_error:
+        print(executor_error, file=sys.stderr)
         return 2
-    if args.workers and workers < args.workers:
+    if execution is not None and args.workers != 1:
         print(
-            f"note: --workers {args.workers} clamped to {workers} "
-            f"(machine core count)",
+            "--workers is a deprecated alias for --executor; pass only one",
             file=sys.stderr,
         )
+        return 2
+    workers = 0
+    if execution is None:
+        try:
+            workers = validate_workers(args.workers)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if args.workers and workers < args.workers:
+            print(
+                f"note: --workers {args.workers} clamped to {workers} "
+                f"(machine core count)",
+                file=sys.stderr,
+            )
     oracle = SyntheticOracle(OracleConfig(seed=args.seed))
     try:
         if args.method:
             methods = methods_by_name(
-                args.method, oracle=oracle, timeout_seconds=args.timeout
+                args.method,
+                oracle=oracle,
+                timeout_seconds=args.timeout,
+                execution=execution,
             )
         else:
             methods = _method_factory(args.methods)(
-                oracle=oracle, timeout_seconds=args.timeout
+                oracle=oracle, timeout_seconds=args.timeout, execution=execution
             )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
@@ -789,7 +852,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         methods,
         benchmarks,
         progress=lambda method, name, report: print(f"  {report.summary()}"),
-        workers=workers,
+        workers=workers if execution is None else 0,
+        execution=execution,
         cache_dir=args.cache_dir,
         seed_from_store=args.seed_from_store,
     )
@@ -882,6 +946,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import DEFAULT_MAX_ATTEMPTS, LiftingService, make_server
 
+    execution, executor_error = _parse_executor(args)
+    if executor_error:
+        print(executor_error, file=sys.stderr)
+        return 2
     if args.workers < 1:
         print(
             f"--workers must be a positive integer (got {args.workers})",
@@ -911,6 +979,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         use_processes=args.processes,
+        execution=execution,
         default_timeout=args.timeout,
         journal=args.journal,
         max_queue_depth=args.max_queue_depth,
@@ -926,9 +995,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = make_server(args.host, args.port, service)
     host, port = server.server_address[:2]
     recovered = service.scheduler.stats().get("recovered", 0)
+    shown_workers = (
+        execution.resolved_workers() if execution is not None else args.workers
+    )
     print(
         f"lifting service listening on http://{host}:{port} "
-        f"(workers={args.workers}, cache={args.cache_dir or 'disabled'}, "
+        f"(workers={shown_workers}, cache={args.cache_dir or 'disabled'}, "
         f"journal={args.journal or 'disabled'}, recovered={recovered})",
         flush=True,
     )

@@ -21,10 +21,20 @@ keep ``workers`` at or below the core count for comparable sweeps.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
@@ -38,6 +48,7 @@ from ..lifting import (  # noqa: F401  (re-exported via repro.evaluation)
     default_limits,
     default_verifier_config,
 )
+from ..lifting.executor import ExecutionConfig
 from ..llm import LLMOracle
 from ..suite import Benchmark
 
@@ -134,6 +145,130 @@ def _run_cell(
     )
 
 
+def shard_stream(length: int, shards: int) -> List[List[int]]:
+    """Contiguous index shards of a candidate stream (deterministic).
+
+    Every index appears exactly once, shards differ in size by at most one,
+    and shard boundaries depend only on ``(length, shards)`` — never on
+    timing — so a sharded scan visits the same candidates in the same
+    grouping on every run.
+    """
+    if length <= 0:
+        return []
+    shards = max(1, min(shards, length))
+    base, extra = divmod(length, shards)
+    result: List[List[int]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        result.append(list(range(start, start + size)))
+        start += size
+    return result
+
+
+def _validate_shard(
+    task: LiftingTask,
+    shard: Sequence[Tuple[int, object]],
+    num_io_examples: int,
+    seed: int,
+    verifier_config: object,
+    tiered: bool,
+    timeout_seconds: Optional[float],
+) -> Tuple[Optional[int], Optional[str], int, bool]:
+    """Validate one shard of a candidate stream (worker-process entry point).
+
+    Module-level for the same reason as :func:`_run_cell`: worker processes
+    must unpickle it.  The harness — validator, verifier, I/O examples — is
+    *config-derived* state and rebuilds here, in the worker; only the task
+    and the candidate programs (pure data) cross the process boundary.
+
+    Returns ``(first hit index or None, concrete program, attempts,
+    timed_out)``.  The shard stops at its first hit: the caller commits to
+    the globally lowest-index hit, so later candidates in a shard that
+    already hit can never win.
+    """
+    from ..lifting.budget import Budget
+    from ..lifting.checking import build_harness, check_candidate
+
+    budget = Budget(timeout_seconds)
+    harness = build_harness(
+        task,
+        num_io_examples=num_io_examples,
+        seed=seed,
+        verifier_config=verifier_config,
+        tiered=tiered,
+    )
+    attempts = 0
+    for index, program in shard:
+        if budget.expired():
+            return None, None, attempts, True
+        attempts += 1
+        solved, validation, _verification = check_candidate(
+            harness.validator, harness.verifier, program
+        )
+        if solved and validation is not None:
+            return index, validation.concrete_program, attempts, False
+    return None, None, attempts, False
+
+
+def validate_stream(
+    task: LiftingTask,
+    programs: Sequence[object],
+    *,
+    execution: ExecutionConfig,
+    num_io_examples: int = 3,
+    seed: int = 7,
+    verifier_config: object = None,
+    tiered: bool = True,
+    timeout_seconds: Optional[float] = None,
+) -> Tuple[Optional[Tuple[int, str]], int, bool]:
+    """First-accept over a candidate stream, sharded across a process pool.
+
+    The stream is partitioned into contiguous shards (one per worker) and
+    each shard validates independently; the accepted candidate is the
+    **globally lowest-index** hit, which is exactly the candidate a
+    sequential first-accept scan commits to — sharding changes wall-clock,
+    never the outcome.  Attempt accounting matches the sequential scan too:
+    a hit at index *i* reports ``i + 1`` attempts (candidates a sequential
+    scan would have tried), a miss reports the full stream length.
+
+    Returns ``((index, concrete_program) or None, attempts, timed_out)``.
+    """
+    if not programs:
+        return None, 0, False
+    workers = execution.resolved_workers(ceiling=os.cpu_count())
+    shards = [
+        [(index, programs[index]) for index in indices]
+        for indices in shard_stream(len(programs), workers)
+    ]
+    pool_type = ProcessPoolExecutor if execution.uses_processes else ThreadPoolExecutor
+    with pool_type(max_workers=len(shards)) as pool:
+        futures = [
+            pool.submit(
+                _validate_shard,
+                task,
+                shard,
+                num_io_examples,
+                seed,
+                verifier_config,
+                tiered,
+                timeout_seconds,
+            )
+            for shard in shards
+        ]
+        outcomes = [future.result() for future in futures]
+    hits = [
+        (index, concrete)
+        for index, concrete, _attempts, _timed_out in outcomes
+        if index is not None
+    ]
+    timed_out = any(outcome[3] for outcome in outcomes)
+    if hits:
+        index, concrete = min(hits, key=lambda hit: hit[0])
+        return (index, concrete), index + 1, False
+    return None, sum(outcome[2] for outcome in outcomes), timed_out
+
+
 def validate_workers(workers: Optional[int]) -> int:
     """Normalise an explicit worker-count request against the machine.
 
@@ -158,9 +293,12 @@ def validate_workers(workers: Optional[int]) -> int:
 class EvaluationRunner:
     """Runs a set of methods over a set of benchmarks.
 
-    ``workers`` selects the execution strategy: ``None``/``0``/``1`` runs
-    every cell sequentially in-process, ``>= 2`` fans the cells out over a
-    process pool with one (method, benchmark) cell per task.  Records are
+    ``execution`` is the unified surface: an
+    :class:`~repro.lifting.executor.ExecutionConfig` selecting the pool
+    backend (threads or processes) and worker count.  The legacy ``workers``
+    parameter remains as an alias — ``None``/``0``/``1`` runs every cell
+    sequentially in-process, ``>= 2`` fans the cells out over a process pool
+    with one (method, benchmark) cell per task.  Records are
     collected in submission order, so the record order is deterministic and
     outcomes match a sequential run whenever queries finish within their
     wall-clock budgets (see the module docstring about oversubscription).
@@ -184,13 +322,28 @@ class EvaluationRunner:
         workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         seed_from_store: bool = False,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         self._methods = dict(methods)
         self._benchmarks = list(benchmarks)
         self._progress = progress
-        # workers=None/0 stays "sequential" (the pre-service contract);
-        # explicit requests are validated and clamped to the core count.
-        self._workers = validate_workers(workers) if workers else 0
+        if execution is not None:
+            # The unified surface: backend + workers in one object.  The
+            # legacy ``workers`` parameter maps onto it (workers >= 2 always
+            # meant a process pool), so both spellings behave identically.
+            if workers:
+                raise ValueError("pass either execution= or workers=, not both")
+            self._execution = execution
+            self._workers = (
+                validate_workers(execution.workers)
+                if execution.workers is not None
+                else execution.resolved_workers(ceiling=os.cpu_count())
+            )
+        else:
+            # workers=None/0 stays "sequential" (the pre-service contract);
+            # explicit requests are validated and clamped to the core count.
+            self._execution = ExecutionConfig(backend="processes", workers=workers or None)
+            self._workers = validate_workers(workers) if workers else 0
         if seed_from_store and cache_dir is None:
             raise ValueError("seed_from_store requires cache_dir")
         if seed_from_store:
@@ -232,7 +385,12 @@ class EvaluationRunner:
 
     def _run_parallel(self) -> EvaluationResult:
         result = EvaluationResult()
-        with ProcessPoolExecutor(max_workers=self._workers) as pool:
+        pool_type = (
+            ProcessPoolExecutor
+            if self._execution.uses_processes
+            else ThreadPoolExecutor
+        )
+        with pool_type(max_workers=self._workers) as pool:
             futures = [
                 pool.submit(
                     _run_cell,
@@ -260,21 +418,26 @@ def methods_by_name(
     names: Sequence[str],
     oracle: Optional[LLMOracle] = None,
     timeout_seconds: Optional[float] = 60.0,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, Lifter]:
     """Resolve registry *names* into the runner's ``{label: lifter}`` shape.
 
     Every method the evaluation runs is constructed through
     :func:`repro.lifting.resolve_methods` — the same path the CLI and the
     HTTP service use — so a sweep's lifters carry the exact store digests a
-    service populated for the same names.
+    service populated for the same names.  ``execution`` selects the
+    backend for method-internal parallelism; it never enters digests.
     """
-    return resolve_methods(names, oracle=oracle, timeout_seconds=timeout_seconds)
+    return resolve_methods(
+        names, oracle=oracle, timeout_seconds=timeout_seconds, execution=execution
+    )
 
 
 def standard_methods(
     oracle: Optional[LLMOracle] = None,
     timeout_seconds: Optional[float] = 60.0,
     include: Optional[Sequence[str]] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, Lifter]:
     """The six methods of Figures 9-10 / Table 1.
 
@@ -282,24 +445,34 @@ def standard_methods(
     (useful for quick runs and tests).
     """
     names = STANDARD_METHODS if include is None else tuple(include)
-    return methods_by_name(names, oracle=oracle, timeout_seconds=timeout_seconds)
+    return methods_by_name(
+        names, oracle=oracle, timeout_seconds=timeout_seconds, execution=execution
+    )
 
 
 def penalty_ablation_methods(
     oracle: Optional[LLMOracle] = None,
     timeout_seconds: Optional[float] = 60.0,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, Lifter]:
     """The Table-2 configurations: full STAGG plus penalty-dropping variants."""
     return methods_by_name(
-        PENALTY_ABLATION_METHODS, oracle=oracle, timeout_seconds=timeout_seconds
+        PENALTY_ABLATION_METHODS,
+        oracle=oracle,
+        timeout_seconds=timeout_seconds,
+        execution=execution,
     )
 
 
 def grammar_ablation_methods(
     oracle: Optional[LLMOracle] = None,
     timeout_seconds: Optional[float] = 60.0,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, Lifter]:
     """The Table-3 / Figure-11 / Figure-12 grammar configurations."""
     return methods_by_name(
-        GRAMMAR_ABLATION_METHODS, oracle=oracle, timeout_seconds=timeout_seconds
+        GRAMMAR_ABLATION_METHODS,
+        oracle=oracle,
+        timeout_seconds=timeout_seconds,
+        execution=execution,
     )

@@ -30,6 +30,13 @@ from ..core.task import LiftingTask
 from .budget import Budget, BudgetExceeded
 from .checking import TaskHarness, build_check, build_harness, check_candidate
 from .descriptor import describe_lifter, describe_oracle
+from .executor import (
+    BACKENDS,
+    ExecutionConfig,
+    TokenBudget,
+    default_execution,
+    parse_executor_spec,
+)
 from .observer import (
     CompositeObserver,
     LiftObserver,
@@ -48,7 +55,9 @@ from .pipeline import (
     STAGES,
     Stage,
     StaggPipeline,
+    StatePicklingError,
     TemplatizeStage,
+    ensure_picklable,
 )
 from .registry import (
     BASELINE_CANDIDATE_BUDGET,
@@ -121,7 +130,14 @@ __all__ = [
     "check_candidate",
     "describe_lifter",
     "describe_oracle",
+    "BACKENDS",
+    "ExecutionConfig",
+    "TokenBudget",
+    "default_execution",
+    "parse_executor_spec",
     "PipelineState",
+    "StatePicklingError",
+    "ensure_picklable",
     "Stage",
     "StaggPipeline",
     "OracleStage",

@@ -28,8 +28,9 @@ exactly that and nothing else.
 from __future__ import annotations
 
 import abc
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.config import StaggConfig
@@ -136,6 +137,46 @@ class PipelineState:
             voted_dimension_list=self.voted_dimension_list,
             static_lhs_rank=self.static_lhs_rank,
         )
+
+
+class StatePicklingError(TypeError):
+    """A :class:`PipelineState` field cannot cross a process boundary.
+
+    Raised loudly (naming the offending field) instead of letting a raw
+    ``PicklingError`` escape from deep inside a process pool, where the
+    traceback would say nothing about *which* artifact was unpicklable.
+    """
+
+    def __init__(self, field_name: str, value: object, cause: Exception) -> None:
+        self.field_name = field_name
+        super().__init__(
+            f"PipelineState.{field_name} is not picklable and cannot be sent "
+            f"to a worker process: {type(value).__qualname__} ({cause}). "
+            "Process-backed execution serializes oracle-derived artifacts "
+            "once; keep live handles (locks, file objects, callbacks) out of "
+            "the pipeline state or use the thread backend."
+        )
+
+
+def ensure_picklable(state: "PipelineState") -> bytes:
+    """Serialize *state* for a worker process, failing loudly per field.
+
+    Returns the pickled bytes on success so callers serialize exactly once.
+    On failure every field is re-tried individually and the first offender
+    is reported by name via :class:`StatePicklingError`.
+    """
+    try:
+        return pickle.dumps(state)
+    except Exception as whole_error:  # noqa: BLE001 - re-raised with context
+        for spec in fields(state):
+            value = getattr(state, spec.name)
+            try:
+                pickle.dumps(value)
+            except Exception as cause:  # noqa: BLE001 - reported per field
+                raise StatePicklingError(spec.name, value, cause) from cause
+        # Every field pickles alone but the whole state does not (e.g. a
+        # cyclic reference introduced by a custom artifact).
+        raise StatePicklingError("<state>", state, whole_error) from whole_error
 
 
 class Stage(abc.ABC):

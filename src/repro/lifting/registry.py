@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 from ..core.config import StaggConfig
 from ..core.search import SearchLimits
 from ..core.verifier import VerifierConfig
+from .executor import ExecutionConfig
 
 #: Candidate budget for the enumerative baselines.  The published C2TACO pays
 #: one TACO-compiler compile-and-run per candidate (roughly 1.5 s), so the
@@ -72,6 +73,10 @@ class MethodContext:
     limits: SearchLimits
     verifier: VerifierConfig
     tiered: bool
+    #: How the built lifter should run parallel work.  Digest-excluded (like
+    #: budgets): the backend changes wall-clock, never outcomes, so factories
+    #: must keep it out of every descriptor they compose.
+    execution: Optional[ExecutionConfig] = None
 
 
 #: A method factory: build one lifter from a resolved context.
@@ -86,6 +91,10 @@ class MethodSpec:
     factory: MethodFactory
     kind: str  # "stagg" | "baseline" | "portfolio"
     description: str = ""
+    #: Whether the method itself exploits a process backend internally
+    #: (portfolio races across processes; LLM shards candidate validation).
+    #: Every method still *runs* under either backend at the harness layer.
+    supports_processes: bool = False
 
 
 #: Valid method kinds (``portfolio`` methods compose other registered ones).
@@ -101,6 +110,7 @@ def register_method(
     kind: str = "stagg",
     description: str = "",
     replace: bool = False,
+    supports_processes: bool = False,
 ) -> MethodSpec:
     """Register *factory* under *name*; names are unique unless ``replace``."""
     if kind not in METHOD_KINDS:
@@ -109,7 +119,13 @@ def register_method(
         raise ValueError(
             f"method {name!r} is already registered; pass replace=True to override"
         )
-    spec = MethodSpec(name=name, factory=factory, kind=kind, description=description)
+    spec = MethodSpec(
+        name=name,
+        factory=factory,
+        kind=kind,
+        description=description,
+        supports_processes=supports_processes,
+    )
     _REGISTRY[name] = spec
     return spec
 
@@ -153,6 +169,7 @@ def resolve_method(
     limits: Optional[SearchLimits] = None,
     verifier: Optional[VerifierConfig] = None,
     tiered: bool = True,
+    execution: Optional[ExecutionConfig] = None,
 ) -> object:
     """Build the lifter registered under *name*.
 
@@ -173,6 +190,11 @@ def resolve_method(
         the canonical :func:`default_limits` / :func:`default_verifier_config`.
     ``tiered``
         Two-tier validation switch, applied uniformly to STAGG and baselines.
+    ``execution``
+        An :class:`~repro.lifting.executor.ExecutionConfig` selecting the
+        parallelism backend for methods that run parallel work (portfolio
+        races, sharded validation).  Digest-excluded: it never changes the
+        descriptor, so thread- and process-backed runs share a store digest.
     """
     spec = method_spec(name)
     if oracle is None:
@@ -188,6 +210,7 @@ def resolve_method(
         limits=limits if limits is not None else default_limits(timeout_seconds),
         verifier=verifier if verifier is not None else default_verifier_config(),
         tiered=tiered,
+        execution=execution,
     )
     return spec.factory(context)
 
@@ -283,6 +306,7 @@ def _register_baseline_methods() -> None:
             seed=context.seed,
             timeout_seconds=context.timeout_seconds,
             tiered=context.tiered,
+            execution=context.execution,
         )
 
     def c2taco(context: MethodContext, use_heuristics: bool = True) -> object:
@@ -312,6 +336,7 @@ def _register_baseline_methods() -> None:
         llm_only,
         kind="baseline",
         description="validate raw LLM candidates, no search (Section 8)",
+        supports_processes=True,
     )
     register_method(
         "C2TACO",

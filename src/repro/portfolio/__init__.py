@@ -11,6 +11,10 @@ STAGG members — one LLM query, many searches.
 * :class:`MemberScheduler` — the thread-based racing engine: per-member
   sub-budgets carved from the shared deadline, first-win cancellation,
   deterministic tie-break by member order.
+* :class:`ProcessMemberScheduler` — the same race across a process pool
+  (one core per member, cross-process cancel token), selected by building
+  the portfolio with ``ExecutionConfig(backend="processes")`` — see
+  :mod:`repro.lifting.executor`.
 * :mod:`.spec` — the ``Portfolio(A,B,...)`` name syntax
   (:func:`parse_portfolio_name`) and :func:`register_portfolio` for named
   portfolios (``Portfolio.Default`` is the canonical built-in).
@@ -20,6 +24,7 @@ semantics and the warm-cache caveat.
 """
 
 from .lifter import PortfolioLifter
+from .process_scheduler import ProcessMemberScheduler
 from .scheduler import MemberRun, MemberScheduler
 from .spec import (
     PORTFOLIO_PREFIX,
@@ -33,6 +38,7 @@ __all__ = [
     "PortfolioLifter",
     "MemberRun",
     "MemberScheduler",
+    "ProcessMemberScheduler",
     "PORTFOLIO_PREFIX",
     "is_portfolio_name",
     "parse_portfolio_name",

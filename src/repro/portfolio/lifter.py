@@ -33,6 +33,7 @@ from ..core.result import SynthesisReport
 from ..core.task import LiftingTask
 from ..lifting.budget import Budget, BudgetExceeded
 from ..lifting.descriptor import describe_lifter
+from ..lifting.executor import ExecutionConfig
 from ..lifting.observer import LiftObserver
 from ..lifting.pipeline import PipelineState
 from .scheduler import MemberRun, MemberScheduler
@@ -79,6 +80,7 @@ class PortfolioLifter:
         label: Optional[str] = None,
         *,
         timeout_seconds: Optional[float] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         members = list(members)
         if not members:
@@ -91,6 +93,10 @@ class PortfolioLifter:
         # to lift() additionally bounds one call from outside, exactly as
         # for every other lifter).
         self._timeout_seconds = timeout_seconds
+        # How the race runs (threads vs processes).  Digest-excluded, like
+        # budgets: descriptor() must never emit it — thread- and
+        # process-raced runs of one spec share a store digest.
+        self._execution = execution
 
     # ------------------------------------------------------------------ #
     # Identity
@@ -110,6 +116,10 @@ class PortfolioLifter:
     @property
     def timeout_seconds(self) -> Optional[float]:
         return self._timeout_seconds
+
+    @property
+    def execution(self) -> Optional[ExecutionConfig]:
+        return self._execution
 
     def descriptor(self) -> Dict[str, object]:
         """Composed identity: ordered member descriptors + the race window.
@@ -168,16 +178,31 @@ class PortfolioLifter:
             return report
 
         deadline = self._remaining_window(started)
-        runs, winner = MemberScheduler().race(
-            [
-                (name, self._runner_for(lifter, task, shared_state))
-                for name, lifter in self._members
-            ],
-            task_name=task.name,
-            budget=budget,
-            deadline_seconds=deadline,
-            observer=observer,
-        )
+        if self._execution is not None and self._execution.uses_processes:
+            # Imported lazily: the process scheduler pulls in multiprocessing
+            # machinery that thread-raced portfolios never need.
+            from .process_scheduler import ProcessMemberScheduler
+
+            runs, winner = ProcessMemberScheduler(self._execution).race(
+                self._members,
+                task=task,
+                task_name=task.name,
+                shared_state=shared_state,
+                budget=budget,
+                deadline_seconds=deadline,
+                observer=observer,
+            )
+        else:
+            runs, winner = MemberScheduler().race(
+                [
+                    (name, self._runner_for(lifter, task, shared_state))
+                    for name, lifter in self._members
+                ],
+                task_name=task.name,
+                budget=budget,
+                deadline_seconds=deadline,
+                observer=observer,
+            )
 
         self._assemble(report, runs, winner, prep_timings, shared_state is not None)
         if prep_error and not report.error and winner is None:

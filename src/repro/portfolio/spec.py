@@ -139,7 +139,10 @@ def portfolio_factory(members: Sequence[str], label: Optional[str] = None):
             (member, method_spec(member).factory(context)) for member in members
         ]
         return PortfolioLifter(
-            built, label=resolved_label, timeout_seconds=context.timeout_seconds
+            built,
+            label=resolved_label,
+            timeout_seconds=context.timeout_seconds,
+            execution=context.execution,
         )
 
     return factory
@@ -165,6 +168,7 @@ def maybe_portfolio_spec(name: str) -> Optional[MethodSpec]:
         factory=portfolio_factory(members, label=label),
         kind="portfolio",
         description=_default_description(members),
+        supports_processes=True,
     )
 
 
@@ -191,4 +195,5 @@ def register_portfolio(
         kind="portfolio",
         description=description,
         replace=replace,
+        supports_processes=True,
     )

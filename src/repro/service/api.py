@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..core.result import SynthesisReport
 from ..core.task import InputSpec, LiftingTask
 from ..lifting import Budget, LiftObserver, Lifter, method_name_for, resolve_method
+from ..lifting.executor import ExecutionConfig
 from ..llm import OracleConfig, StaticOracle, SyntheticOracle
 from ..suite import get_benchmark
 from . import faults
@@ -325,7 +326,13 @@ class LiftingService:
         store_max_entries: Optional[int] = None,
         store_max_bytes: Optional[int] = None,
         seed_from_store: bool = False,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
+        if execution is not None:
+            # The unified execution surface: --executor processes[:N] folds
+            # the legacy (workers, use_processes) pair into one object.
+            workers = execution.resolved_workers()
+            use_processes = execution.uses_processes
         if seed_from_store and cache_dir is None:
             raise ValueError("seed_from_store requires cache_dir")
         self._store = (

@@ -66,6 +66,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.result import SynthesisReport
 from ..lifting import Budget, LiftObserver
+from ..lifting.executor import ExecutionConfig
 from ..lifting.observer import CompositeObserver, tagged_member
 from ..obs import MetricsRegistry
 from ..obs import trace as obs_trace
@@ -286,7 +287,14 @@ class JobScheduler:
         ] = None,
         metrics: Optional[MetricsRegistry] = None,
         retrieval_probe: Optional[Callable[[object], int]] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
+        if execution is not None:
+            # The unified execution surface: backend + worker count in one
+            # object.  The legacy (workers, use_processes) pair keeps
+            # working; passing both spellings is a caller bug.
+            workers = execution.resolved_workers()
+            use_processes = execution.uses_processes
         if workers < 1:
             raise ValueError(f"scheduler needs at least one worker, got {workers}")
         self._executor = executor

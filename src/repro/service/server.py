@@ -40,7 +40,38 @@ from .api import (
     LiftingService,
     ServiceError,
     ServiceOverloadedError,
+    method_name,
 )
+
+#: The pre-registry request shape, kept working for old clients.  A payload
+#: that selects its method through these fields gets a ``"deprecated"``
+#: advisory in the submit response naming the equivalent registry method.
+_LEGACY_TRIPLE_FIELDS = ("search", "grammar", "probabilities")
+
+
+def _legacy_deprecation(
+    payload: Dict[str, object], request: LiftRequest
+) -> Optional[Dict[str, object]]:
+    """The ``"deprecated"`` advisory for a legacy-triple submission.
+
+    Detection reads the *raw payload*: the triple fields have defaults on
+    :class:`LiftRequest`, so only keys the client actually sent count.  A
+    payload carrying an explicit ``"method"`` is modern regardless of any
+    stray triple fields (``method`` wins inside the service too).
+    """
+    if request.method is not None:
+        return None
+    fields = [field for field in _LEGACY_TRIPLE_FIELDS if field in payload]
+    if not fields:
+        return None
+    return {
+        "fields": fields,
+        "method": method_name(request),
+        "note": (
+            "the search/grammar/probabilities triple is deprecated; "
+            "pass the registry \"method\" string instead"
+        ),
+    }
 
 #: Default service port (unassigned by IANA; "TACO" on a phone keypad is 8226,
 #: which is taken by some SNMP agents — 8642 is simply memorable and free).
@@ -206,17 +237,19 @@ class _Handler(BaseHTTPRequestHandler):
             if data is None:
                 return
             try:
-                job = self.service.submit(LiftRequest.from_payload(data))
+                request = LiftRequest.from_payload(data)
+                job = self.service.submit(request)
             except ServiceError as error:
                 self._send_error_json(str(error), 400)
                 return
             except ServiceOverloadedError as error:
                 self._send_overloaded(error)
                 return
-            self._send_json(
-                {"job_id": job.id, "state": job.state.value, "cached": job.cached},
-                status=202,
-            )
+            body = {"job_id": job.id, "state": job.state.value, "cached": job.cached}
+            deprecation = _legacy_deprecation(data, request)
+            if deprecation is not None:
+                body["deprecated"] = deprecation
+            self._send_json(body, status=202)
         elif parts == ("batch",):
             data = self._read_json_body()
             if data is None:

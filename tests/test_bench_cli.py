@@ -26,12 +26,15 @@ from repro.cli import main
 def test_gate_cli_reproduces_committed_verdicts(capsys):
     assert main(["gate", "--record", "BENCH_pr3.json"]) == 0
     assert main(["gate", "--record", "BENCH_pr4.json"]) == 0
-    # pr5 predates the retrieval section, so only pr8 gates strictly.
+    # Older records predate later sections (pr5 has no retrieval, pr8 no
+    # multicore), so only the newest record gates strictly.
     assert main(["gate", "--record", "BENCH_pr5.json"]) == 0
-    assert main(["gate", "--record", "BENCH_pr8.json", "--strict"]) == 0
+    assert main(["gate", "--record", "BENCH_pr8.json"]) == 0
+    assert main(["gate", "--record", "BENCH_pr10.json", "--strict"]) == 0
     out = capsys.readouterr().out
     assert "validator-speedup" in out
     assert "retrieval-seeded-speedup" in out
+    assert "portfolio-multicore" in out
     assert "PASS" in out
 
 

@@ -79,6 +79,7 @@ def test_canonical_registry_contents():
     assert ids == [
         "validator-speedup", "portfolio-wallclock", "portfolio-solves-best",
         "retrieval-seeded-speedup", "retrieval-solves-cold",
+        "portfolio-multicore",
     ]
 
 
@@ -114,6 +115,7 @@ def test_committed_pr4_verdict_reproduced():
     assert all(result.status in ("pass", "skip") for result in report.results)
     assert [r.gate.gate_id for r in report.skipped] == [
         "retrieval-seeded-speedup", "retrieval-solves-cold",
+        "portfolio-multicore",
     ]
 
 
@@ -125,11 +127,22 @@ def test_committed_pr5_verdict_reproduced():
     assert by_id["retrieval-seeded-speedup"].status == "skip"
 
 
-def test_committed_pr8_all_gates_pass_strict():
-    # The warm-similar record carries every section, so nothing skips.
+def test_committed_pr8_verdict_reproduced():
+    # pr8 predates the multicore section, so only that gate skips; every
+    # gate its sections support still passes.
     report = evaluate_gates(BenchRecord.from_path(REPO_ROOT / "BENCH_pr8.json"))
+    assert report.passed()
+    assert [r.gate.gate_id for r in report.skipped] == ["portfolio-multicore"]
+
+
+def test_committed_pr10_all_gates_pass_strict():
+    # The newest warm-similar record carries every section (portfolio,
+    # retrieval, multicore), so nothing skips and strict mode passes.
+    report = evaluate_gates(BenchRecord.from_path(REPO_ROOT / "BENCH_pr10.json"))
     assert report.passed(strict=True)
     assert not report.skipped
+    by_id = {result.gate.gate_id: result for result in report.results}
+    assert by_id["portfolio-multicore"].status == "pass"
 
 
 # ---------------------------------------------------------------------- #
@@ -166,6 +179,53 @@ def test_threshold_ref_reads_the_record():
     )
     assert report.passed()
     assert not report.failed
+
+
+def _multicore_section(ratio=0.8, gate_ratio=1.0, cores=4):
+    return {
+        "spec": "Portfolio(A,B)",
+        "kernels": ["k"],
+        "timeout_seconds": 5.0,
+        "cores": cores,
+        "workers": 2,
+        "backend": "processes",
+        "portfolio": {
+            "seconds": 2.0 * ratio, "solved": 3, "per_kernel_seconds": {"k": 1.6},
+        },
+        "fastest_member": "A",
+        "fastest_member_seconds": 2.0,
+        "wallclock_ratio": ratio,
+        "gate_ratio": gate_ratio,
+    }
+
+
+def _record_with_multicore(**kwargs):
+    record = _record(portfolio=_portfolio_section()).to_dict()
+    record["multicore"] = _multicore_section(**kwargs)
+    return BenchRecord.from_dict(record)
+
+
+def test_multicore_gate_pass_and_fail():
+    passing = evaluate_gates(_record_with_multicore(ratio=0.8))
+    by_id = {result.gate.gate_id: result for result in passing.results}
+    assert by_id["portfolio-multicore"].status == "pass"
+
+    failing = evaluate_gates(_record_with_multicore(ratio=1.4, gate_ratio=1.0))
+    assert [r.gate.gate_id for r in failing.failed] == ["portfolio-multicore"]
+
+
+def test_multicore_gate_honours_embedded_bar():
+    # A single-core machine records a relaxed bar; the gate reads it from
+    # the record (threshold_ref), so the same registry entry gates both.
+    report = evaluate_gates(_record_with_multicore(ratio=1.4, gate_ratio=3.0, cores=1))
+    by_id = {result.gate.gate_id: result for result in report.results}
+    assert by_id["portfolio-multicore"].status == "pass"
+
+
+def test_multicore_gate_skips_without_section():
+    report = evaluate_gates(_record(portfolio=_portfolio_section()))
+    by_id = {result.gate.gate_id: result for result in report.results}
+    assert by_id["portfolio-multicore"].status == "skip"
 
 
 def _retrieval_section(speedup=10.0, cold_solved=2, warm_solved=3):

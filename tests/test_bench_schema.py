@@ -147,3 +147,66 @@ def test_metric_on_missing_portfolio_section():
     assert not record.has_section("portfolio")
     with pytest.raises(KeyError):
         record.metric("portfolio.solved")
+
+
+def _multicore_section():
+    return {
+        "spec": "Portfolio(A,B)",
+        "kernels": ["k"],
+        "timeout_seconds": 5.0,
+        "cores": 4,
+        "workers": 2,
+        "backend": "processes",
+        "portfolio": {
+            "seconds": 1.6, "solved": 3, "per_kernel_seconds": {"k": 1.6},
+        },
+        "fastest_member": "A",
+        "fastest_member_seconds": 2.0,
+        "wallclock_ratio": 0.8,
+        "gate_ratio": 1.0,
+    }
+
+
+def test_multicore_section_round_trips():
+    data = _minimal_record(multicore=_multicore_section())
+    record = BenchRecord.from_dict(data)
+    assert record.has_section("multicore")
+    assert record.to_dict() == data
+    assert record.metric("multicore.wallclock_ratio") == 0.8
+    assert record.metric("multicore.gate_ratio") == 1.0
+    assert record.metric("multicore.cores") == 4
+
+
+def test_multicore_unknown_field_is_rejected():
+    section = _multicore_section()
+    section["threads"] = 2
+    with pytest.raises(BenchSchemaError, match="multicore"):
+        BenchRecord.from_dict(_minimal_record(multicore=section))
+
+
+def test_multicore_missing_cores_is_rejected():
+    section = _multicore_section()
+    del section["cores"]
+    with pytest.raises(BenchSchemaError, match="cores"):
+        BenchRecord.from_dict(_minimal_record(multicore=section))
+
+
+def test_pr10_record_carries_multicore_section():
+    record = BenchRecord.from_path(REPO_ROOT / "BENCH_pr10.json")
+    assert record.has_section("multicore")
+    assert record.multicore.backend == "processes"
+    assert record.multicore.cores >= 1
+    # The embedded bar matches the core count the record claims (the
+    # harness picks it; the gate only ever reads it back).
+    from repro.evaluation.perf import (
+        MULTICORE_FALLBACK_GATE_RATIO,
+        MULTICORE_GATE_RATIO,
+        MULTICORE_MIN_CORES,
+    )
+
+    expected = (
+        MULTICORE_GATE_RATIO
+        if record.multicore.cores >= MULTICORE_MIN_CORES
+        else MULTICORE_FALLBACK_GATE_RATIO
+    )
+    assert record.multicore.gate_ratio == expected

@@ -355,8 +355,9 @@ class TestCli:
         by_name = {entry["name"]: entry for entry in entries}
         assert by_name["STAGG_TD"]["kind"] == "stagg"
         for entry in entries:
-            assert set(entry) == {"name", "kind", "label"}
+            assert set(entry) == {"name", "kind", "label", "supports_processes"}
             assert entry["label"]
+            assert isinstance(entry["supports_processes"], bool)
 
     def test_lift_seed_from_store_requires_cache_dir(self, capsys):
         from repro.cli import main

@@ -161,6 +161,62 @@ class TestEndpoints:
             assert result["report"]["success"] is True
 
 
+class TestLegacyTripleDeprecation:
+    """Golden coverage for the deprecated search/grammar/probabilities triple."""
+
+    def test_legacy_triple_golden_advisory(self, server):
+        payload = {
+            "benchmark": "darknet.copy_cpu",
+            "timeout": 30.0,
+            "search": "bottomup",
+            "grammar": "full",
+            "probabilities": "equal",
+        }
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        # Golden: the advisory names exactly the fields sent and the
+        # registry method string that replaces them.
+        assert body["deprecated"] == {
+            "fields": ["search", "grammar", "probabilities"],
+            "method": "STAGG_BU.FullGrammar",
+            "note": (
+                "the search/grammar/probabilities triple is deprecated; "
+                'pass the registry "method" string instead'
+            ),
+        }
+        # The job itself still runs to the same result as a modern request.
+        status, result = _get(server, f"/result/{body['job_id']}?wait=60")
+        assert status == 200
+
+    def test_partial_triple_names_only_sent_fields(self, server):
+        payload = {"benchmark": "darknet.copy_cpu", "timeout": 30.0, "search": "topdown"}
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        assert body["deprecated"]["fields"] == ["search"]
+        assert body["deprecated"]["method"] == "STAGG_TD"
+
+    def test_modern_method_payload_has_no_advisory(self, server):
+        payload = {
+            "benchmark": "darknet.copy_cpu",
+            "timeout": 30.0,
+            "method": "STAGG_BU.FullGrammar",
+        }
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        assert "deprecated" not in body
+
+    def test_method_wins_over_stray_triple_fields(self, server):
+        payload = {
+            "benchmark": "darknet.copy_cpu",
+            "timeout": 30.0,
+            "method": "STAGG_TD",
+            "search": "bottomup",
+        }
+        status, body = _post(server, "/submit", payload)
+        assert status == 202
+        assert "deprecated" not in body
+
+
 class TestErrorStatuses:
     def _expect_http_error(self, fn, code):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
